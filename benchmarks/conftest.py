@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Every figure bench regenerates its figure's data at a moderate scale,
+writes the text rendering to ``benchmarks/out/<name>.txt`` (the regenerated
+"figure"), and times a representative core operation with pytest-benchmark.
+Heavy whole-experiment timings use ``benchmark.pedantic`` with one round.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.euler.ports import DriverParams
+from repro.harness.casestudy import CaseStudyConfig
+from repro.harness.sweeps import q_grid
+from repro.mpi.network import NetworkModel
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def write_out(out_dir: str, name: str, text: str) -> str:
+    path = os.path.join(out_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_qs() -> list[int]:
+    """Q sweep spanning cache-resident to cache-busting sizes."""
+    return q_grid(7, 2_000, 300_000)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CaseStudyConfig:
+    """Case-study scale used by the run-based figure benches."""
+    return CaseStudyConfig(
+        params=DriverParams(nx=48, ny=48, max_levels=3, steps=4,
+                            regrid_every=2, max_patch_cells=1024),
+        nranks=3,
+        network=NetworkModel(latency_us=3000.0, bandwidth_bytes_per_us=4.0,
+                             jitter_sigma=0.25),
+    )

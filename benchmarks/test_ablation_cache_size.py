@@ -1,0 +1,49 @@
+"""Ablation: halving the cache-model capacity.
+
+Paper Section 6: "Any significant change, such as halving of the cache
+size, will have a large effect on the coefficients in the models (though
+the functional form is expected to remain unchanged)."  Exercised on the
+PAPI-analog cache model: the predicted miss ratio curve shifts while its
+shape (flat -> step at capacity) is preserved.
+"""
+
+from conftest import write_out
+
+from repro.tau.hardware import AccessPattern, CacheModel
+from repro.util.tabular import format_table
+
+
+def test_ablation_cache_size(benchmark, out_dir):
+    full = CacheModel(capacity_bytes=512 * 1024)
+    half = CacheModel(capacity_bytes=256 * 1024)
+
+    qs = [2_000, 16_000, 40_000, 80_000, 160_000]
+    rows = []
+    for q in qs:
+        mf = full.miss_ratio(q, pattern=AccessPattern.STRIDED,
+                             stride_elements=64, passes=3)
+        mh = half.miss_ratio(q, pattern=AccessPattern.STRIDED,
+                             stride_elements=64, passes=3)
+        rows.append((q, f"{mf:.3f}", f"{mh:.3f}"))
+
+    table = format_table(
+        ["Q (doubles)", "miss ratio (512 kB)", "miss ratio (256 kB)"],
+        rows,
+        title="Ablation: cache capacity halved (strided walk, 3 passes)",
+    )
+    write_out(out_dir, "ablation_cache_size.txt", table)
+
+    # Coefficients shift: the capacity crossover moves to smaller Q.
+    # 40_000 doubles = 320 kB: resident in 512 kB, not in 256 kB.
+    assert half.miss_ratio(40_000, pattern=AccessPattern.STRIDED,
+                           stride_elements=64, passes=3) > \
+        full.miss_ratio(40_000, pattern=AccessPattern.STRIDED,
+                        stride_elements=64, passes=3)
+    # Functional form unchanged: both are monotone non-decreasing in Q.
+    for model in (full, half):
+        ratios = [model.miss_ratio(q, pattern=AccessPattern.STRIDED,
+                                   stride_elements=64, passes=3) for q in qs]
+        assert all(b >= a - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    benchmark(lambda: full.access_counts(160_000, pattern=AccessPattern.STRIDED,
+                                         stride_elements=64, passes=3))

@@ -1,0 +1,88 @@
+"""Solver validation bench: L1 convergence on the exact Sod solution.
+
+Not a paper figure — a correctness benchmark for the substrate the paper's
+measurements ride on: the component solver's density profile is compared
+against the exact Riemann solution, for both flux implementations, over a
+resolution sweep.  The paper's QoS observation (GodunovFlux "is more
+accurate") is quantified here.
+"""
+
+import numpy as np
+from conftest import write_out
+
+from repro.cca import Framework
+from repro.euler import (AMRMeshComponent, DriverParams, EFMFluxComponent,
+                         GodunovFluxComponent, InviscidFluxComponent,
+                         RK2Component, StatesComponent, SOD_LEFT, SOD_RIGHT,
+                         sod_exact)
+from repro.harness.visualization import assemble_level_field
+from repro.util.tabular import format_table
+
+
+def run_sod(nx: int, flux_cls, steps: int):
+    params = DriverParams(nx=nx, ny=8, max_levels=1, steps=steps,
+                          regrid_every=0, blocks=(1, 2), cfl=0.4)
+    fw = Framework()
+    fw.create("states", StatesComponent)
+    fw.create("flux", flux_cls)
+    fw.create("inviscid", InviscidFluxComponent)
+    fw.create("rk2", RK2Component)
+    mesh = fw.create("mesh", AMRMeshComponent, params=params)
+    fw.connect("inviscid", "states", "states", "states")
+    fw.connect("inviscid", "flux", "flux", "flux")
+    fw.connect("rk2", "mesh", "mesh", "mesh")
+    fw.connect("rk2", "rhs", "inviscid", "rhs")
+
+    def sod_ic(X, Y):
+        rho = np.where(X < 0.5, SOD_LEFT[0], SOD_RIGHT[0])
+        p = np.where(X < 0.5, SOD_LEFT[2], SOD_RIGHT[2])
+        zero = np.zeros_like(rho)
+        return {"rho": rho, "mx": zero, "my": zero, "E": p / 0.4}
+
+    mesh.initialize(sod_ic)
+    rk2 = fw.component("rk2")
+    t = 0.0
+    for _ in range(steps):
+        dt = rk2.compute_dt(0.4)
+        rk2.advance(0, dt)
+        t += dt
+    h = mesh.hierarchy()
+    data = assemble_level_field(h, "rho", 0)
+    mid = data[data.shape[0] // 2, :]
+    dx, _ = h.dx(0)
+    x = (np.arange(mid.size) + 0.5) * dx
+    exact, _u, _p = sod_exact(x, t)
+    return float(np.mean(np.abs(mid - exact)))
+
+
+def test_convergence_sod(benchmark, out_dir):
+    resolutions = [(64, 10), (128, 20), (256, 40)]
+    holder = {}
+
+    def run():
+        for flux_name, flux_cls in (("Godunov", GodunovFluxComponent),
+                                    ("EFM", EFMFluxComponent)):
+            for nx, steps in resolutions:
+                holder[(flux_name, nx)] = run_sod(nx, flux_cls, steps)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (flux_name, nx), err in sorted(holder.items()):
+        rows.append((flux_name, nx, f"{err:.5f}"))
+    write_out(out_dir, "convergence_sod.txt", format_table(
+        ["flux", "nx", "L1 density error vs exact"],
+        rows,
+        title="Sod shock tube: solver error against the exact solution",
+    ))
+
+    # Errors shrink with resolution for both implementations.
+    for flux_name in ("Godunov", "EFM"):
+        errs = [holder[(flux_name, nx)] for nx, _ in resolutions]
+        assert errs[0] > errs[1] > errs[2]
+    # Godunov is the more accurate implementation at every resolution (QoS).
+    for nx, _ in resolutions:
+        assert holder[("Godunov", nx)] < holder[("EFM", nx)]
+    benchmark.extra_info["l1_errors"] = {
+        f"{k[0]}@{k[1]}": round(v, 5) for k, v in holder.items()
+    }

@@ -1,0 +1,34 @@
+"""Figure 10: the application dual and model-guided assembly optimization.
+
+Paper: a directed graph with invocation-count edge weights and
+model-predicted compute/comm vertex weights; the composite model serves as
+the cost function selecting among flux implementations, with QoS (accuracy)
+able to flip the choice.
+"""
+
+import dataclasses
+
+from conftest import write_out
+
+from repro.harness.figures import fig10_dual_graph
+
+
+def test_fig10_dual_graph(benchmark, bench_config, out_dir):
+    cfg_efm = dataclasses.replace(bench_config, flux="efm")
+    cfg_god = dataclasses.replace(bench_config, flux="godunov")
+    holder = {}
+
+    def run():
+        holder["res"] = fig10_dual_graph(cfg_efm, cfg_god)
+        return holder["res"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    res = holder["res"]
+    write_out(out_dir, "fig10_dual_graph.txt", res.render())
+
+    assert res.dual_edges, "dual must carry invocation-weighted edges"
+    assert res.dual_nodes["amr_proxy::ghost_update()"]["comm_us"] > 0
+    assert res.optimization.best.binding_names()["flux"] == "EFMFlux"
+    assert res.qos_optimization.best.binding_names()["flux"] == "GodunovFlux"
+    benchmark.extra_info["cost_pick"] = res.optimization.best.binding_names()
+    benchmark.extra_info["qos_pick"] = res.qos_optimization.best.binding_names()

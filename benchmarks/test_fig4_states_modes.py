@@ -1,0 +1,29 @@
+"""Figure 4: States execution time, sequential (X) vs strided (Y) access.
+
+Regenerates the dual-mode timing series over the Q sweep and benchmarks the
+States kernel at a cache-busting size in the strided mode.
+"""
+
+import numpy as np
+from conftest import write_out
+
+from repro.euler.states import StatesKernel
+from repro.harness.figures import fig4_states_modes
+from repro.harness.sweeps import synthetic_patch_stack
+
+
+def test_fig4_states_modes(benchmark, bench_qs, out_dir):
+    fig4 = fig4_states_modes(bench_qs, nprocs=3, repeats=2)
+    write_out(out_dir, "fig4_states_modes.txt", fig4.render())
+
+    mm = fig4.mode_means()
+    qx, tx = mm["x"]
+    qy, ty = mm["y"]
+    # Times grow with Q in both modes; strided >= ~sequential at the top.
+    assert tx[-1] > tx[0] and ty[-1] > ty[0]
+    assert ty[-1] >= 0.9 * tx[-1]
+    benchmark.extra_info["ratio_at_max_q"] = round(float(ty[-1] / tx[-1]), 3)
+
+    kern = StatesKernel()
+    U = synthetic_patch_stack(bench_qs[-1])
+    benchmark(lambda: kern.compute(U, "y"))

@@ -1,0 +1,27 @@
+"""Figure 5: ratio of strided to sequential States timings vs Q.
+
+Paper: ratio ~1 for cache-resident arrays rising toward ~4 for the largest
+(on a 512 kB-L2 Xeon; amplitude is host-cache-dependent, shape reproduced).
+"""
+
+from conftest import write_out
+
+from repro.euler.states import StatesKernel
+from repro.harness.figures import fig4_states_modes, fig5_stride_ratio
+from repro.harness.sweeps import synthetic_patch_stack
+
+
+def test_fig5_stride_ratio(benchmark, bench_qs, out_dir):
+    fig4 = fig4_states_modes(bench_qs, nprocs=3, repeats=2)
+    fig5 = fig5_stride_ratio(fig4)
+    write_out(out_dir, "fig5_stride_ratio.txt", fig5.render())
+
+    # Near parity at the smallest size; penalty does not shrink with Q.
+    assert 0.7 < fig5.ratio[0] < 1.6
+    assert fig5.ratio.max() >= fig5.ratio[0]
+    benchmark.extra_info["ratio_min_q"] = round(float(fig5.ratio[0]), 3)
+    benchmark.extra_info["ratio_max"] = round(float(fig5.ratio.max()), 3)
+
+    kern = StatesKernel()
+    U = synthetic_patch_stack(bench_qs[-1])
+    benchmark(lambda: kern.compute(U, "x"))

@@ -1,0 +1,26 @@
+"""Figure 6 / Eq. 1-2 (States): mean + std vs Q with fitted models.
+
+Paper: T_states = exp(1.19 log Q - 3.68) us — a power law with large sigma
+from averaging the two access modes.
+"""
+
+from conftest import write_out
+
+from repro.euler.states import StatesKernel
+from repro.harness.figures import fig6_states_model
+from repro.harness.sweeps import synthetic_patch_stack
+
+
+def test_fig6_states_model(benchmark, bench_qs, out_dir):
+    fig6 = fig6_states_model(bench_qs, nprocs=3, repeats=2)
+    write_out(out_dir, "fig6_states_model.txt", fig6.render())
+
+    assert fig6.model.mean_fit.r2 > 0.90
+    assert fig6.model.predict_mean(bench_qs[-1]) > fig6.model.predict_mean(bench_qs[0])
+    assert fig6.model.std_fit is not None
+    benchmark.extra_info["mean_formula"] = fig6.model.mean_fit.formula
+    benchmark.extra_info["family"] = fig6.model.mean_fit.family
+
+    kern = StatesKernel()
+    U = synthetic_patch_stack(bench_qs[len(bench_qs) // 2])
+    benchmark(lambda: (kern.compute(U, "x"), kern.compute(U, "y")))

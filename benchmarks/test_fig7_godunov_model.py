@@ -1,0 +1,28 @@
+"""Figure 7 / Eq. 1-2 (GodunovFlux): mean + std vs Q, linear fit.
+
+Paper: T_godunov = -963 + 0.315 Q us; sigma grows with Q (the internal
+iterative Riemann solution makes variability data-dependent).
+"""
+
+from conftest import write_out
+
+from repro.euler.godunov import GodunovKernel
+from repro.euler.states import StatesKernel
+from repro.harness.figures import fig7_godunov_model
+from repro.harness.sweeps import synthetic_patch_stack
+
+
+def test_fig7_godunov_model(benchmark, bench_qs, out_dir):
+    qs = bench_qs[:-1]  # Godunov is ~3x States; trim the largest size
+    fig7 = fig7_godunov_model(qs, nprocs=3, repeats=2)
+    write_out(out_dir, "fig7_godunov_model.txt", fig7.render())
+
+    assert fig7.model.mean_fit.r2 > 0.90
+    assert fig7.model.std_fit is not None
+    benchmark.extra_info["mean_formula"] = fig7.model.mean_fit.formula
+
+    states = StatesKernel()
+    god = GodunovKernel()
+    U = synthetic_patch_stack(qs[len(qs) // 2])
+    WL, WR = states.compute(U, "x")
+    benchmark(lambda: god.compute(WL, WR, "x"))

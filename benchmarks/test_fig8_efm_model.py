@@ -1,0 +1,34 @@
+"""Figure 8 / Eq. 1-2 (EFMFlux): mean + std vs Q, linear fit.
+
+Paper: T_EFM = -8.13 + 0.16 Q us — about half GodunovFlux's slope; the
+performance-preferred implementation in the QoS trade-off.
+"""
+
+from conftest import write_out
+
+from repro.euler.efm import EFMKernel
+from repro.euler.states import StatesKernel
+from repro.harness.figures import fig7_godunov_model, fig8_efm_model
+from repro.harness.sweeps import synthetic_patch_stack
+
+
+def test_fig8_efm_model(benchmark, bench_qs, out_dir):
+    qs = bench_qs[:-1]
+    fig8 = fig8_efm_model(qs, nprocs=3, repeats=2)
+    fig7 = fig7_godunov_model(qs[:4], nprocs=1, repeats=2)
+    write_out(out_dir, "fig8_efm_model.txt", fig8.render())
+
+    assert fig8.model.mean_fit.r2 > 0.90
+    # Cost ordering at a common size: Godunov > EFM (the paper's headline).
+    q_common = float(qs[3])
+    g = float(fig7.model.predict_mean(q_common))
+    e = float(fig8.model.predict_mean(q_common))
+    assert g > e
+    benchmark.extra_info["godunov_over_efm"] = round(g / e, 2)
+    benchmark.extra_info["mean_formula"] = fig8.model.mean_fit.formula
+
+    states = StatesKernel()
+    efm = EFMKernel()
+    U = synthetic_patch_stack(qs[len(qs) // 2])
+    WL, WR = states.compute(U, "x")
+    benchmark(lambda: efm.compute(WL, WR, "x"))

@@ -1,0 +1,34 @@
+"""Figure 9: ghost-cell update message-passing time per hierarchy level.
+
+Paper: per-(level, decomposition) clusters of comm times on each of the 3
+processors, scattered by fluctuating network load, shifted once by the
+mid-run load-balancing regrid.
+"""
+
+from conftest import write_out
+
+from repro.harness.figures import fig9_comm_levels
+
+
+def test_fig9_comm_levels(benchmark, bench_config, out_dir):
+    holder = {}
+
+    def run():
+        holder["res"] = fig9_comm_levels(bench_config)
+        return holder["res"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    res = holder["res"]
+    write_out(out_dir, "fig9_comm_levels.txt", res.render())
+
+    ranks = {r for r, _l, _d, _t in res.samples}
+    levels = {l for _r, l, _d, _t in res.samples}
+    decomps = {d for _r, _l, d, _t in res.samples}
+    assert ranks == {0, 1, 2}
+    assert levels >= {0, 1}
+    assert len(decomps) >= 2  # the regrid created a second decomposition
+    stats = res.cluster_stats()
+    assert any(std > 0 for (_m, std, n) in stats.values() if n >= 3)
+    benchmark.extra_info["clusters"] = {
+        f"L{lev}/d{dec}": round(mean, 1) for (lev, dec), (mean, _s, _n) in stats.items()
+    }

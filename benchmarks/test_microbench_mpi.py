@@ -1,0 +1,70 @@
+"""Microbenchmarks of the MPI simulator substrate.
+
+Not a paper figure — characterizes the simulator itself: point-to-point
+throughput, collective latency and the waitsome completion path, so
+regressions in the substrate are visible independently of the experiments.
+"""
+
+import numpy as np
+from conftest import write_out
+
+from repro.mpi import ParallelRunner, waitsome
+from repro.mpi.network import LOOPBACK
+from repro.util.tabular import format_table
+
+
+def _p2p_roundtrips(n_messages: int, nbytes: int):
+    def job(comm):
+        payload = np.zeros(nbytes // 8)
+        if comm.rank == 0:
+            for i in range(n_messages):
+                comm.send(payload, dest=1, tag=i)
+                comm.recv(source=1, tag=i)
+        else:
+            for i in range(n_messages):
+                comm.recv(source=0, tag=i)
+                comm.send(payload, dest=0, tag=i)
+
+    ParallelRunner(2, network=LOOPBACK, timeout_s=60.0).run(job)
+
+
+def test_microbench_p2p_roundtrip(benchmark, out_dir):
+    benchmark.pedantic(lambda: _p2p_roundtrips(200, 8192), rounds=3, iterations=1)
+    write_out(out_dir, "microbench_mpi_p2p.txt",
+              "200 roundtrips of 8 KiB payloads on 2 simulated ranks")
+
+
+def test_microbench_allreduce(benchmark):
+    def run():
+        def job(comm):
+            total = 0.0
+            for _ in range(100):
+                total = comm.allreduce(comm.rank + 1.0)
+            return total
+
+        return ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out == [6.0, 6.0, 6.0]
+
+
+def test_microbench_waitsome_fanin(benchmark):
+    """Rank 0 drains 64 sends from two peers via the waitsome loop."""
+
+    def run():
+        def job(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=src, tag=t)
+                        for src in (1, 2) for t in range(32)]
+                remaining = len(reqs)
+                while remaining:
+                    remaining -= len(waitsome(reqs))
+                return sum(r.payload for r in reqs)
+            for t in range(32):
+                comm.isend(t, dest=0, tag=t)
+            return 0
+
+        return ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out[0] == 2 * sum(range(32))

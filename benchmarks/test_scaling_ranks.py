@@ -1,0 +1,55 @@
+"""Scalability sweep: message-passing fraction vs processor count.
+
+Paper Section 5: "message passing times are generally comparable to the
+purely computational loads ... and it is unlikely that the code, in the
+current configuration ... will scale well.  This is also borne out by
+Figure 3 where almost a quarter of the time is shown to be spent in
+message passing."
+
+This bench runs the fixed-size case study at P = 1, 2, 3 ranks and reports
+the MPI share of the profile — the expected shape is a growing fraction
+(fixed problem, more boundaries, same wire).
+"""
+
+import dataclasses
+
+from conftest import write_out
+
+from repro.cca.scmd import MAIN_TIMER
+from repro.harness.casestudy import run_case_study
+from repro.tau.summary import merge_snapshots
+from repro.util.tabular import format_table
+
+
+def mpi_fraction(result) -> float:
+    merged = merge_snapshots(result.timer_snapshots)
+    total = merged[MAIN_TIMER].inclusive_us
+    mpi = sum(t.inclusive_us for t in merged.values() if t.group == "MPI")
+    return mpi / total if total > 0 else 0.0
+
+
+def test_scaling_ranks(benchmark, bench_config, out_dir):
+    holder = {}
+
+    def run():
+        for p in (1, 2, 3):
+            cfg = dataclasses.replace(
+                bench_config, nranks=p,
+                params=dataclasses.replace(bench_config.params, steps=3),
+            )
+            holder[p] = run_case_study(cfg)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fracs = {p: mpi_fraction(res) for p, res in holder.items()}
+    rows = [(p, f"{f:.1%}") for p, f in sorted(fracs.items())]
+    write_out(out_dir, "scaling_ranks.txt", format_table(
+        ["ranks", "MPI fraction of runtime"], rows,
+        title="Fixed-size scaling: message-passing share vs processor count",
+    ))
+
+    # Shape: multi-rank runs pay a visible MPI share; P=1 pays ~nothing
+    # through the wire (collectives with one rank are floor-cost only).
+    assert fracs[1] < fracs[3]
+    assert fracs[3] > 0.05
+    benchmark.extra_info["mpi_fractions"] = {p: round(f, 4) for p, f in fracs.items()}

@@ -1,0 +1,111 @@
+"""Model-guided component-assembly optimization (the paper's end goal).
+
+1. Measures EFMFlux and GodunovFlux over an array-size sweep and fits a
+   performance model per implementation (Eq. 1/2 style).
+2. Runs the instrumented case study once to obtain the application's call
+   trace and workloads, and builds its *dual* — the composite performance
+   model with the flux slot left as a variable (Figure 10).
+3. Evaluates the composite under each binding and selects the optimal
+   assembly, with and without a Quality-of-Service accuracy weight.
+4. Demonstrates dynamic replacement: the losing implementation is swapped
+   in-place through the framework's AbstractFramework port.
+
+Run:  python examples/assembly_optimization.py
+"""
+
+from repro.cca import Framework
+from repro.euler.efm import EFMFluxComponent, EFMKernel
+from repro.euler.godunov import GodunovFluxComponent, GodunovKernel
+from repro.euler.ports import DriverParams
+from repro.euler.states import StatesKernel
+from repro.harness.casestudy import (FLUX_PROXY, STATES_PROXY,
+                                     CaseStudyConfig, compose_case_study,
+                                     run_case_study)
+from repro.harness.figures import qos_flip_weight
+from repro.harness.sweeps import measure_mode_sweep, q_grid
+from repro.models.performance import PerformanceModel, build_model
+from repro.perf.dualgraph import dual_to_composite
+from repro.perf.optimizer import AssemblyOptimizer
+
+
+def fit_flux_model(name: str, kernel, quality: float) -> PerformanceModel:
+    """Sweep-measure a flux kernel and fit its performance model."""
+    states = StatesKernel()
+    cache = {}
+
+    def invoke(U, mode):
+        key = (id(U), mode)
+        if key not in cache:
+            cache[key] = states.compute(U, mode)
+        wl, wr = cache[key]
+        return kernel.compute(wl, wr, mode)
+
+    samples = measure_mode_sweep(invoke, q_grid(6, 2_000, 80_000),
+                                 nprocs=1, repeats=3)
+    q, t = samples.mode_averaged()
+    model = build_model(name, q, t, mean_families=("linear", "power"),
+                        quality=quality)
+    return model
+
+
+def main() -> None:
+    print("fitting per-implementation performance models...\n")
+    model_efm = fit_flux_model("EFMFlux", EFMKernel(),
+                               EFMFluxComponent.QUALITY)
+    model_god = fit_flux_model("GodunovFlux", GodunovKernel(),
+                               GodunovFluxComponent.QUALITY)
+    print(model_efm.describe())
+    print(model_god.describe())
+
+    print("\nrecording the application's call trace and workloads...")
+    config = CaseStudyConfig(
+        params=DriverParams(nx=40, ny=40, max_levels=2, steps=3,
+                            regrid_every=2, max_patch_cells=1024),
+        flux="efm",
+        nranks=3,
+    )
+    run = run_case_study(config)
+    mastermind = run.extras[0].mastermind
+
+    model_states = mastermind.build_performance_model(
+        STATES_PROXY, "compute", mean_families=("power", "linear"),
+        min_bin_count=2,
+    )
+    composite = dual_to_composite(
+        mastermind,
+        slots={FLUX_PROXY: "flux"},
+        models={f"{STATES_PROXY}::compute()": model_states},
+    )
+    print(f"composite model nodes: {composite.nodes()}")
+    print(f"free slots: {composite.free_slots()}")
+
+    optimizer = AssemblyOptimizer(composite,
+                                  {"flux": [model_efm, model_god]})
+    plain = optimizer.optimize(qos_weight=0.0)
+    print("\n--- lowest-execution-time selection ---")
+    print(plain.summary())
+
+    flip = qos_flip_weight(plain)
+    qos = optimizer.optimize(qos_weight=1.25 * flip if flip else 0.0)
+    print(f"\n--- QoS-weighted selection (weight {1.25 * flip:.2f}, "
+          "accuracy matters) ---" if flip else "\n--- QoS: no flip possible ---")
+    print(qos.summary())
+
+    # Dynamic replacement through the AbstractFramework port.
+    print("\ndynamically replacing the flux component in a live assembly...")
+    fw = Framework()
+    compose_case_study(fw, CaseStudyConfig(
+        params=DriverParams(nx=32, ny=32, max_levels=1, steps=1),
+        flux="efm", instrument=False, nranks=1))
+    afp = fw.builtin_port(Framework.ABSTRACT_FRAMEWORK_PORT)
+    print(f"before: {afp.component_class('flux').__name__}")
+    winner = qos.best.binding_names()["flux"]
+    cls = GodunovFluxComponent if winner == "GodunovFlux" else EFMFluxComponent
+    afp.replace("flux", cls)
+    print(f"after:  {afp.component_class('flux').__name__}")
+    status = fw.go("driver")
+    print(f"re-run with the selected implementation: status {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Component reuse: a heat-diffusion app from the shock solver's parts.
+
+The CCA pitch (paper Section 1) is that "program modification is
+simplified to modifying a single component or switching in a similar
+component without affecting the rest of the application."  This example
+makes that concrete: the AMRMesh and RK2 components of the shock case
+study are reused verbatim; only the RhsPort provider changes (Euler fluxes
+-> an explicit diffusion stencil), plus a driver for the new physics.
+
+The run is verified against the analytic solution: a Gaussian temperature
+bump spreads with variance sigma^2(t) = sigma0^2 + 2 nu t.
+
+Run:  python examples/heat_reuse.py
+"""
+
+import numpy as np
+
+from repro.apps.heat import HeatDriver, HeatParams, HeatRhsComponent, gaussian_ic
+from repro.cca import Framework
+from repro.euler.mesh_component import AMRMeshComponent
+from repro.euler.ports import DriverParams
+from repro.euler.rk2 import RK2Component
+from repro.harness.visualization import ascii_field, assemble_level_field
+
+
+def field_variance(h) -> float:
+    data = assemble_level_field(h, "rho", 0)
+    data = data - data.min()
+    ni, nj = data.shape
+    dx, dy = h.dx(0)
+    X = (np.arange(nj) + 0.5) * dx
+    Y = (np.arange(ni) + 0.5) * dy
+    XX, YY = np.meshgrid(X, Y)
+    total = data.sum()
+    cx = (data * XX).sum() / total
+    cy = (data * YY).sum() / total
+    return float((data * ((XX - cx) ** 2 + (YY - cy) ** 2)).sum() / total) / 2.0
+
+
+def main() -> None:
+    params = HeatParams(nx=96, ny=96, max_levels=2, steps=24,
+                        nu=2.0e-3, sigma0=0.06)
+    mesh_params = DriverParams(nx=params.nx, ny=params.ny,
+                               max_levels=params.max_levels,
+                               flag_threshold=0.1, max_patch_cells=2048)
+
+    fw = Framework()
+    fw.create("rhs", HeatRhsComponent, nu=params.nu)      # NEW physics
+    fw.create("rk2", RK2Component)                        # reused
+    fw.create("mesh", AMRMeshComponent, params=mesh_params)  # reused
+    fw.create("driver", HeatDriver, params=params)        # NEW driver
+    fw.connect("rk2", "mesh", "mesh", "mesh")
+    fw.connect("rk2", "rhs", "rhs", "rhs")
+    fw.connect("driver", "mesh", "mesh", "mesh")
+    fw.connect("driver", "integrator", "rk2", "integrator")
+
+    print("wiring diagram (reused components marked):")
+    g = fw.wiring_diagram()
+    for node, data in g.nodes(data=True):
+        reused = data["component_class"] in ("RK2Component", "AMRMeshComponent")
+        print(f"  {node}: {data['component_class']}"
+              + ("   [reused from the shock app]" if reused else ""))
+
+    # Reference variance before stepping.
+    ref = Framework()
+    ref_mesh = ref.create("mesh", AMRMeshComponent, params=mesh_params)
+    ref_mesh.initialize(gaussian_ic(params))
+    var0 = field_variance(ref_mesh.hierarchy())
+
+    status = fw.go("driver")
+    driver = fw.component("driver")
+    h = fw.component("mesh").hierarchy()
+    var = field_variance(h)
+    predicted = var0 + 2.0 * params.nu * driver.elapsed
+
+    print(f"\nrun status {status}; simulated time {driver.elapsed:.4f}")
+    print(f"variance: initial {var0:.6f} -> final {var:.6f}")
+    print(f"analytic prediction: {predicted:.6f} "
+          f"(error {abs(var - predicted) / predicted:.2%})")
+    print("\ntemperature field ('&' = refined patches):")
+    print(ascii_field(h, width=56, height=24))
+
+
+if __name__ == "__main__":
+    main()

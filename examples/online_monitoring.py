@@ -1,0 +1,112 @@
+"""Online performance monitoring with dynamic component replacement.
+
+The paper's closing vision (Section 6): "dynamic performance optimization
+which uses online performance monitoring to determine when performance
+expectations are not being met and new model-guided decisions of component
+use need to take place."
+
+This example stages exactly that scenario:
+
+1. the application is assembled with **GodunovFlux** and an expectation
+   model calibrated for **EFMFlux** (as if the deployment environment no
+   longer matches the model repository);
+2. the :class:`~repro.perf.online.OnlineMonitor` watches the flux proxy's
+   recent invocations, detects that expectations are violated,
+3. consults the candidate models, and hot-swaps the flux component through
+   the framework — after which the drift clears.
+
+Run:  python examples/online_monitoring.py
+"""
+
+import numpy as np
+
+from repro.cca import Framework
+from repro.euler.efm import EFMFluxComponent, EFMKernel
+from repro.euler.godunov import GodunovKernel
+from repro.euler.ports import FluxPort
+from repro.euler.states import StatesKernel
+from repro.harness.sweeps import measure_mode_sweep, q_grid, synthetic_patch_stack
+from repro.models.performance import build_model
+from repro.perf import Candidate, Expectation, Mastermind, OnlineMonitor, insert_proxy
+from repro.tau.component import TauMeasurementComponent
+from repro.cca.component import Component
+
+
+class FluxCaller(Component):
+    """Stand-in workload driver invoking the flux port patch by patch."""
+
+    def set_services(self, sv):
+        self.sv = sv
+        sv.register_uses_port("flux", FluxPort)
+
+    def drive(self, qs):
+        states = StatesKernel()
+        flux = self.sv.get_port("flux")
+        for q in qs:
+            U = synthetic_patch_stack(q, seed=q)
+            for mode in ("x", "y"):
+                WL, WR = states.compute(U, mode)
+                flux.compute(WL, WR, mode)
+
+
+def fit_kernel_model(name, kernel, quality=1.0):
+    states = StatesKernel()
+    cache = {}
+
+    def invoke(U, mode):
+        key = (id(U), mode)
+        if key not in cache:
+            cache[key] = states.compute(U, mode)
+        wl, wr = cache[key]
+        return kernel.compute(wl, wr, mode)
+
+    samples = measure_mode_sweep(invoke, q_grid(5, 2_000, 40_000),
+                                 nprocs=1, repeats=3)
+    q, t = samples.mode_averaged()
+    return build_model(name, q, t, mean_families=("linear", "power"),
+                       quality=quality)
+
+
+def main() -> None:
+    print("calibrating per-implementation models offline...")
+    model_efm = fit_kernel_model("EFMFlux", EFMKernel(),
+                                 EFMFluxComponent.QUALITY)
+    model_god = fit_kernel_model("GodunovFlux", GodunovKernel())
+    print(f"  EFM:     {model_efm.mean_fit.formula}")
+    print(f"  Godunov: {model_god.mean_fit.formula}")
+
+    # Deploy with GodunovFlux, but expect EFMFlux performance.
+    from repro.euler.godunov import GodunovFluxComponent
+
+    fw = Framework()
+    fw.create("flux", GodunovFluxComponent)
+    caller = fw.create("caller", FluxCaller)
+    fw.create("tau", TauMeasurementComponent)
+    mm = fw.create("mastermind", Mastermind)
+    fw.connect("caller", "flux", "flux", "flux")
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+    insert_proxy(fw, "caller", "flux", "mastermind", label="g_proxy")
+
+    qs = [10_000] * 8
+    print("\nrunning the workload (GodunovFlux deployed)...")
+    caller.drive(qs)
+
+    monitor = OnlineMonitor(mm, window=16, drift_threshold=0.5)
+    expectation = Expectation("g_proxy", "compute", model_efm, floor_us=500.0)
+    report = monitor.check(expectation)
+    print(report)
+
+    candidates = [Candidate(EFMFluxComponent, model_efm)]
+    report = monitor.check_and_reoptimize(expectation, fw, "flux", candidates)
+    print(report)
+
+    print("\nre-running the workload after replacement...")
+    mm.record("g_proxy", "compute").invocations.clear()
+    caller.drive(qs)
+    report = monitor.check(expectation)
+    print(report)
+    print("\nmodel-guided dynamic optimization loop closed.")
+
+
+if __name__ == "__main__":
+    main()

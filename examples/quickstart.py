@@ -1,0 +1,95 @@
+"""Quickstart: instrument a tiny component application.
+
+Builds the smallest useful assembly — one provider, one driver — then adds
+the PMM infrastructure (TAU component, Mastermind, an auto-generated
+proxy), runs it, and prints the TAU profile, the per-invocation records and
+a fitted performance model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cca import Component, Framework, Port
+from repro.cca.ports import GoPort
+from repro.perf import Mastermind, insert_proxy, perf_params
+from repro.tau import function_summary
+from repro.tau.component import TauMeasurementComponent
+
+
+# --- 1. Declare a port interface, with perf_params mark-up ------------- #
+class SolverPort(Port):
+    """Some numerical service whose cost depends on the input size."""
+
+    @perf_params(lambda args, kwargs: {"Q": int(args[0].size)})
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+# --- 2. Implement it as a component ------------------------------------ #
+class JacobiSolver(Component, SolverPort):
+    """A deliberately size-sensitive kernel (a few Jacobi sweeps)."""
+
+    FUNCTIONALITY = "solver"
+
+    def set_services(self, services):
+        services.add_provides_port(self, "solver", SolverPort)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        x = np.zeros_like(rhs)
+        for _ in range(20):
+            x = 0.5 * (np.roll(x, 1) + np.roll(x, -1)) + rhs
+        return x
+
+
+# --- 3. A driver that exercises the solver over several sizes ---------- #
+class Driver(Component, GoPort):
+    def set_services(self, services):
+        self.services = services
+        services.register_uses_port("solver", SolverPort)
+        services.add_provides_port(self, "go", GoPort)
+
+    def go(self) -> int:
+        solver = self.services.get_port("solver")
+        rng = np.random.default_rng(0)
+        for q in (1_000, 10_000, 100_000):
+            for _ in range(5):
+                solver.solve(rng.random(q))
+        return 0
+
+
+def main() -> None:
+    # --- 4. Assemble, instrument, run ----------------------------------- #
+    fw = Framework()
+    fw.create("solver", JacobiSolver)
+    fw.create("driver", Driver)
+    fw.create("tau", TauMeasurementComponent)
+    fw.create("mastermind", Mastermind)
+    fw.connect("driver", "solver", "solver", "solver")
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+
+    # The proxy snoops driver->solver calls and reports to the Mastermind.
+    insert_proxy(fw, "driver", "solver", "mastermind", label="solver_proxy")
+
+    with fw.profiler.timer("main"):
+        status = fw.go("driver")
+    print(f"application finished with status {status}\n")
+
+    # --- 5. Inspect: profile, records, model ---------------------------- #
+    print(function_summary([fw.profiler.timers_snapshot()], total_name="main"))
+
+    mm = fw.component("mastermind")
+    record = mm.record("solver_proxy", "solve")
+    print(f"\nrecorded {len(record)} invocations; first rows:")
+    print("\n".join(record.to_text().splitlines()[:6]))
+
+    model = mm.build_performance_model("solver_proxy", "solve",
+                                       mean_families=("linear", "power"))
+    print("\nfitted performance model:")
+    print(model.describe())
+    print(f"\npredicted mean time at Q=50_000: "
+          f"{float(model.predict_mean(50_000)):.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+517 editable installs fail with "invalid command 'bdist_wheel'".  With this
+shim, ``pip install -e . --no-build-isolation --no-use-pep517`` uses the
+classic ``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

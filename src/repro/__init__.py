@@ -1,0 +1,21 @@
+"""repro — reproduction of "Performance Measurement and Modeling of
+Component Applications in a High Performance Computing Environment: A Case
+Study" (Ray, Trebon, Armstrong, Shende, Malony; SAND2003-8631 / IPDPS'04).
+
+Subpackages
+-----------
+- :mod:`repro.util`    — clocks, RNG, validation, text tables
+- :mod:`repro.mpi`     — simulated MPI-1 subset with a network cost model
+- :mod:`repro.tau`     — TAU-analog measurement library (+ PAPI-style counters)
+- :mod:`repro.cca`     — CCA/CCAFFEINE-analog component framework
+- :mod:`repro.perf`    — proxies, Mastermind, dual graph, assembly optimizer
+- :mod:`repro.models`  — regression fits, performance & composite models
+- :mod:`repro.amr`     — structured AMR substrate (Berger-Colella style)
+- :mod:`repro.euler`   — the case-study application components
+- :mod:`repro.harness` — per-figure experiment drivers and reporting
+
+See README.md for a walkthrough, DESIGN.md for the system inventory and
+substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,43 @@
+"""Structured Adaptive Mesh Refinement substrate (paper Section 5).
+
+Berger-Colella style SAMR for 2-D Cartesian meshes:
+
+* a relatively coarse Cartesian mesh over a rectangular domain
+  (:class:`Box`, :class:`Patch`);
+* flagging of cells needing refinement by a gradient metric
+  (:mod:`repro.amr.flagging`);
+* collation of flagged points into rectangular children patches by the
+  Berger-Rigoutsos signature algorithm (:mod:`repro.amr.clustering`);
+* a recursive hierarchy of patches with constant refinement factor
+  (:class:`GridHierarchy`), with prolongation/restriction between levels
+  (:mod:`repro.amr.interpolation`);
+* domain decomposition and load balancing of patches over ranks
+  (:mod:`repro.amr.decomposition`);
+* distributed ghost-cell updates over the simulated MPI layer
+  (:class:`GhostExchanger`) — the message-passing workload behind the
+  paper's Figure 9.
+"""
+
+from repro.amr.box import Box
+from repro.amr.patch import Patch
+from repro.amr.flagging import flag_gradient
+from repro.amr.clustering import cluster_flags
+from repro.amr.interpolation import prolong, restrict
+from repro.amr.decomposition import assign_round_robin, assign_knapsack, DecompositionStats
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.ghost import GhostExchanger, ExchangePlan
+
+__all__ = [
+    "Box",
+    "Patch",
+    "flag_gradient",
+    "cluster_flags",
+    "prolong",
+    "restrict",
+    "assign_round_robin",
+    "assign_knapsack",
+    "DecompositionStats",
+    "GridHierarchy",
+    "GhostExchanger",
+    "ExchangePlan",
+]

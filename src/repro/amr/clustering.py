@@ -1,0 +1,163 @@
+"""Berger-Rigoutsos clustering: flagged cells -> rectangular patches.
+
+"the grid points flagged and collated into rectangular children patches"
+(paper Section 5).  The signature algorithm: take row/column sums of the
+flag mask (signatures), trim zero margins, then recursively split the box
+at holes (zero signature entries) or, failing that, at the strongest
+inflection of the signature's second difference, until every box is
+efficient (fill fraction >= ``min_fill``) or minimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.util.validation import check_in_range, check_positive
+
+
+def cluster_flags(
+    flags: np.ndarray,
+    origin: Box,
+    min_fill: float = 0.7,
+    max_cells: int = 32_768,
+    min_width: int = 4,
+) -> list[Box]:
+    """Cover all True cells of ``flags`` with efficient rectangles.
+
+    Parameters
+    ----------
+    flags:
+        Boolean mask laid out over ``origin`` (``flags.shape == origin.shape``).
+    origin:
+        The index box the mask spans (level global index space).
+    min_fill:
+        Minimum fraction of flagged cells per returned box.
+    max_cells:
+        Boxes larger than this are split even if efficient (bounds patch
+        size for load balancing).
+    min_width:
+        Boxes are not split below this width in either direction.
+
+    Returns boxes in the *same index space* as ``origin``; their union
+    contains every flagged cell.
+    """
+    check_in_range("min_fill", min_fill, 0.0, 1.0)
+    check_positive("max_cells", max_cells)
+    check_positive("min_width", min_width)
+    mask = np.asarray(flags, dtype=bool)
+    if mask.shape != origin.shape:
+        raise ValueError(f"flags shape {mask.shape} != origin shape {origin.shape}")
+    if not mask.any():
+        return []
+    out: list[Box] = []
+    _cluster(mask, origin, min_fill, max_cells, min_width, out)
+    return out
+
+
+def _trim(mask: np.ndarray, box: Box) -> tuple[np.ndarray, Box] | None:
+    """Shrink to the bounding box of flagged cells (None if empty)."""
+    rows = mask.any(axis=1)
+    cols = mask.any(axis=0)
+    if not rows.any():
+        return None
+    i0, i1 = int(np.argmax(rows)), int(len(rows) - np.argmax(rows[::-1]) - 1)
+    j0, j1 = int(np.argmax(cols)), int(len(cols) - np.argmax(cols[::-1]) - 1)
+    sub = mask[i0 : i1 + 1, j0 : j1 + 1]
+    return sub, Box(box.ilo + i0, box.jlo + j0, box.ilo + i1, box.jlo + j1)
+
+
+def _find_hole(signature: np.ndarray, min_width: int) -> int | None:
+    """Index to split *after*, at an interior zero of the signature."""
+    zeros = np.flatnonzero(signature == 0)
+    best = None
+    center = (len(signature) - 1) / 2
+    for z in zeros:
+        if z < min_width or z > len(signature) - 1 - min_width:
+            continue
+        if best is None or abs(z - center) < abs(best - center):
+            best = int(z)
+    return best
+
+
+def _find_inflection(signature: np.ndarray, min_width: int) -> int | None:
+    """Split index at the largest jump of the signature's second difference."""
+    if len(signature) < 2 * min_width + 2:
+        return None
+    lap = np.diff(signature.astype(np.int64), n=2)  # lap[k] ~ curvature at k+1
+    best, best_mag = None, 0
+    for k in range(len(lap) - 1):
+        cut = k + 1  # split between cells cut and cut+1
+        if cut < min_width - 1 or cut >= len(signature) - min_width:
+            continue
+        mag = abs(int(lap[k + 1]) - int(lap[k]))
+        if mag > best_mag:
+            best, best_mag = cut, mag
+    return best
+
+
+def _cluster(
+    mask: np.ndarray,
+    box: Box,
+    min_fill: float,
+    max_cells: int,
+    min_width: int,
+    out: list[Box],
+) -> None:
+    trimmed = _trim(mask, box)
+    if trimmed is None:
+        return
+    mask, box = trimmed
+    fill = mask.mean()
+    ni, nj = mask.shape
+    small = ni <= min_width and nj <= min_width
+    if (fill >= min_fill and box.ncells <= max_cells) or small:
+        out.append(box)
+        return
+
+    sig_i = mask.sum(axis=1)  # signature along i (rows)
+    sig_j = mask.sum(axis=0)  # signature along j (cols)
+
+    # Prefer hole splits on the longer axis first; fall back to inflection;
+    # last resort: bisect the longer axis.
+    for axis in sorted((0, 1), key=lambda a: -(mask.shape[a])):
+        sig = sig_i if axis == 0 else sig_j
+        cut = _find_hole(sig, min_width)
+        if cut is not None:
+            _split(mask, box, axis, cut, min_fill, max_cells, min_width, out)
+            return
+    for axis in sorted((0, 1), key=lambda a: -(mask.shape[a])):
+        sig = sig_i if axis == 0 else sig_j
+        cut = _find_inflection(sig, min_width)
+        if cut is not None:
+            _split(mask, box, axis, cut, min_fill, max_cells, min_width, out)
+            return
+    axis = 0 if ni >= nj else 1
+    n = mask.shape[axis]
+    if n < 2 * min_width:
+        out.append(box)  # cannot split without violating min_width
+        return
+    _split(mask, box, axis, n // 2 - 1, min_fill, max_cells, min_width, out)
+
+
+def _split(
+    mask: np.ndarray,
+    box: Box,
+    axis: int,
+    cut: int,
+    min_fill: float,
+    max_cells: int,
+    min_width: int,
+    out: list[Box],
+) -> None:
+    """Split after local index ``cut`` along ``axis`` and recurse."""
+    if axis == 0:
+        m1, m2 = mask[: cut + 1, :], mask[cut + 1 :, :]
+        b1 = Box(box.ilo, box.jlo, box.ilo + cut, box.jhi)
+        b2 = Box(box.ilo + cut + 1, box.jlo, box.ihi, box.jhi)
+    else:
+        m1, m2 = mask[:, : cut + 1], mask[:, cut + 1 :]
+        b1 = Box(box.ilo, box.jlo, box.ihi, box.jlo + cut)
+        b2 = Box(box.ilo, box.jlo + cut + 1, box.ihi, box.jhi)
+    _cluster(m1, b1, min_fill, max_cells, min_width, out)
+    _cluster(m2, b2, min_fill, max_cells, min_width, out)

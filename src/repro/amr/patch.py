@@ -1,0 +1,104 @@
+"""Patches: rectangular Cartesian meshes with ghost cells.
+
+"Patches can be of any size or aspect ratio" (paper Section 5).  A
+:class:`Patch` stores named cell-centered fields as 2-D arrays including a
+``nghost``-wide ghost frame; the interior corresponds to the patch's
+:class:`~repro.amr.box.Box` in the level's global index space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.util.validation import check_non_negative
+
+_patch_ids = itertools.count()
+
+
+@dataclass
+class Patch:
+    """One rectangular mesh patch on one refinement level."""
+
+    box: Box
+    level: int
+    owner: int = 0
+    nghost: int = 2
+    fields: dict[str, np.ndarray] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_patch_ids))
+
+    def __post_init__(self) -> None:
+        check_non_negative("level", self.level)
+        check_non_negative("nghost", self.nghost)
+        check_non_negative("owner", self.owner)
+
+    # ------------------------------------------------------------ layout
+    @property
+    def ghost_box(self) -> Box:
+        """The index box covered by storage including ghosts."""
+        return self.box.grow(self.nghost)
+
+    @property
+    def array_shape(self) -> tuple[int, int]:
+        ni, nj = self.box.shape
+        return (ni + 2 * self.nghost, nj + 2 * self.nghost)
+
+    @property
+    def ncells(self) -> int:
+        """Interior cell count (the patch's workload measure)."""
+        return self.box.ncells
+
+    # ------------------------------------------------------------ fields
+    def allocate(self, name: str, fill: float = 0.0) -> np.ndarray:
+        """Create (or reset) a named field, returning its array."""
+        arr = np.full(self.array_shape, fill, dtype=np.float64)
+        self.fields[name] = arr
+        return arr
+
+    def data(self, name: str) -> np.ndarray:
+        """Full storage array of a field (interior + ghosts)."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(
+                f"patch {self.uid} (L{self.level} {self.box}) has no field "
+                f"{name!r}; have {sorted(self.fields)}"
+            ) from None
+
+    def interior(self, name: str) -> np.ndarray:
+        """View of the field's interior cells."""
+        g = self.nghost
+        arr = self.data(name)
+        return arr[g : arr.shape[0] - g, g : arr.shape[1] - g] if g else arr
+
+    def view(self, name: str, region: Box) -> np.ndarray:
+        """View of the field over ``region`` (level index space).
+
+        ``region`` must lie inside the patch's ghost box.
+        """
+        si, sj = region.slices(self.ghost_box)
+        return self.data(name)[si, sj]
+
+    # ------------------------------------------------------------- misc
+    def field_names(self) -> list[str]:
+        return sorted(self.fields)
+
+    def copy(self) -> "Patch":
+        """Deep copy (fresh uid is *not* assigned; identity is preserved)."""
+        return Patch(
+            box=self.box,
+            level=self.level,
+            owner=self.owner,
+            nghost=self.nghost,
+            fields={k: v.copy() for k, v in self.fields.items()},
+            uid=self.uid,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Patch(uid={self.uid}, L{self.level}, box={self.box}, owner={self.owner}, "
+            f"fields={self.field_names()})"
+        )

@@ -1,0 +1,14 @@
+"""Additional component applications built on the same substrates.
+
+"The principal motivations behind the CCA are to promote code reuse and
+interdisciplinary collaboration" (paper Section 1).  This package
+demonstrates the claim: :mod:`repro.apps.heat` assembles a heat-diffusion
+solver from the *same* AMRMesh and RK2 components as the shock case study,
+replacing only the right-hand-side provider — "program modification is
+simplified to ... switching in a similar component without affecting the
+rest of the application."
+"""
+
+from repro.apps.heat import HeatRhsComponent, HeatDriver, HeatParams, gaussian_ic
+
+__all__ = ["HeatRhsComponent", "HeatDriver", "HeatParams", "gaussian_ic"]

@@ -1,0 +1,44 @@
+"""CCA component framework (CCAFFEINE analog, paper Section 3.1).
+
+Implements the provides/uses design pattern:
+
+* components derive from :class:`Component` and implement one deferred
+  method, ``set_services(services)``, invoked by the framework at creation;
+* functionality is exchanged through :class:`Port` interfaces — a component
+  *provides* ports (exports implementations) and *uses* ports (imports
+  peers' implementations);
+* a :class:`Framework` instantiates components (by class or by repository
+  name, the analog of dynamically loading a shared object), connects ports
+  (the movement of references from provider to user) and exports the wiring
+  diagram the Mastermind needs for composite modeling;
+* :func:`run_scmd` launches the SCMD model: identical frameworks containing
+  the same components are instantiated on all P (simulated) processors,
+  with :mod:`repro.mpi` between cohort instances.
+"""
+
+from repro.cca.ports import Port, GoPort, port_methods
+from repro.cca.component import Component
+from repro.cca.services import Services, PortNotConnectedError
+from repro.cca.repository import ComponentRepository, register_component, default_repository
+from repro.cca.framework import Framework, AbstractFrameworkPort
+from repro.cca.scmd import run_scmd, ScmdResult
+from repro.cca.script import run_script, ScriptError, ScriptResult
+
+__all__ = [
+    "Port",
+    "GoPort",
+    "port_methods",
+    "Component",
+    "Services",
+    "PortNotConnectedError",
+    "ComponentRepository",
+    "register_component",
+    "default_repository",
+    "Framework",
+    "AbstractFrameworkPort",
+    "run_scmd",
+    "ScmdResult",
+    "run_script",
+    "ScriptError",
+    "ScriptResult",
+]

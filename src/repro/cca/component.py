@@ -1,0 +1,40 @@
+"""Component base class.
+
+Paper Section 3.1: "All CCAFFEINE components are derived from a data-less
+abstract class with one deferred method called setServices(Services *q).
+All components implement the setServices method which is invoked by the
+framework at component creation and is used by the components to register
+themselves and their UsesPorts and ProvidesPorts."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cca.services import Services
+
+
+class Component:
+    """Abstract CCA component.
+
+    Subclasses override :meth:`set_services` to declare their ports.  Two
+    optional class attributes support performance-driven assembly:
+
+    * ``FUNCTIONALITY`` — the abstract functionality this class implements
+      (e.g. ``"flux"``); multiple classes sharing a FUNCTIONALITY are the
+      paper's "multiple implementations of a component".
+    * ``QUALITY`` — a scalar quality-of-service figure (e.g. accuracy) used
+      by the QoS-aware assembly optimizer (paper Section 5's
+      GodunovFlux-vs-EFMFlux discussion).
+    """
+
+    FUNCTIONALITY: str | None = None
+    QUALITY: float = 1.0
+
+    def set_services(self, services: "Services") -> None:
+        """Register uses/provides ports; called once by the framework."""
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Hook invoked when the framework destroys the component."""

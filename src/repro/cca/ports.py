@@ -1,0 +1,50 @@
+"""Port interfaces.
+
+Paper Section 3.1: "Components also implement other data-less abstract
+classes, called Ports, to allow access to their standard functionalities."
+A Port subclass declares an interface as ordinary (abstract) methods; the
+proxy generator introspects those methods via :func:`port_methods`.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+
+class Port:
+    """Data-less abstract base for all port interfaces.
+
+    Subclass and declare methods; provider components implement the
+    subclass.  Ports carry no state of their own (the CCA "data-less
+    abstract class" discipline) — implementations, of course, may.
+    """
+
+    @classmethod
+    def port_type_name(cls) -> str:
+        """The interface's name (used in wiring diagrams and proxies)."""
+        return cls.__name__
+
+
+def port_methods(port_cls: type[Port]) -> list[str]:
+    """Public methods declared by a Port interface (not inherited from Port).
+
+    This is what proxy generation introspects: every method listed here is
+    intercepted and forwarded.
+    """
+    if not (isinstance(port_cls, type) and issubclass(port_cls, Port)):
+        raise TypeError(f"{port_cls!r} is not a Port subclass")
+    base = set(dir(Port))
+    names = []
+    for name, member in inspect.getmembers(port_cls, callable):
+        if name.startswith("_") or name in base:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+class GoPort(Port):
+    """CCAFFEINE's standard entry-point port: the driver's ``go()``."""
+
+    def go(self) -> int:
+        """Run the application; return a status code (0 = success)."""
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""Component repository: the shared-object palette.
+
+In CCAFFEINE every component is compiled into a shared library loaded at
+run time; here the repository maps component class names to Python classes
+so applications can be assembled from names in a script, and so the
+assembly optimizer can enumerate "multiple implementations of a component"
+(classes sharing a FUNCTIONALITY tag).
+"""
+
+from __future__ import annotations
+
+from repro.cca.component import Component
+
+
+class ComponentRepository:
+    """Name -> component class registry with functionality indexing."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type[Component]] = {}
+
+    def register(self, cls: type[Component], name: str | None = None) -> type[Component]:
+        """Register ``cls`` under ``name`` (default: the class name)."""
+        if not (isinstance(cls, type) and issubclass(cls, Component)):
+            raise TypeError(f"{cls!r} is not a Component subclass")
+        key = name or cls.__name__
+        existing = self._classes.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"component name {key!r} already registered to {existing!r}")
+        self._classes[key] = cls
+        return cls
+
+    def get(self, name: str) -> type[Component]:
+        """Look up a component class by registered name."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise KeyError(
+                f"component {name!r} not in repository; known: {sorted(self._classes)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def implementations_of(self, functionality: str) -> dict[str, type[Component]]:
+        """All registered classes whose FUNCTIONALITY matches.
+
+        This is the optimizer's search space: with n components each having
+        C_i implementations there are prod(C_i) assemblies to choose from.
+        """
+        return {
+            name: cls
+            for name, cls in self._classes.items()
+            if cls.FUNCTIONALITY == functionality
+        }
+
+
+#: Process-wide default repository; `@register_component` targets it.
+default_repository = ComponentRepository()
+
+
+def register_component(name: str | None = None, repository: ComponentRepository | None = None):
+    """Class decorator: register a component class in a repository.
+
+    >>> @register_component()
+    ... class MyComp(Component): ...
+    """
+    repo = repository or default_repository
+
+    def deco(cls: type[Component]) -> type[Component]:
+        return repo.register(cls, name)
+
+    return deco

@@ -1,0 +1,126 @@
+"""Assembly scripts (paper Section 3.1).
+
+"A CCAFFEINE code can be assembled and run through a script or a
+Graphical User Interface (GUI)."  This module implements the script path:
+a small line-oriented language closely following CCAFFEINE's ``rc`` files:
+
+.. code-block:: text
+
+    # the instrumented flux assembly
+    instantiate StatesComponent states
+    instantiate EFMFluxComponent flux
+    instantiate InviscidFluxComponent inviscid
+    connect inviscid states states states
+    connect inviscid flux flux flux
+    go driver go
+
+Commands
+--------
+``instantiate <ClassName> <instance> [key=value ...]``
+    Create a component from the framework's repository; ``key=value``
+    pairs become constructor keyword arguments (parsed as Python literals).
+``connect <user> <usesPort> <provider> [providesPort]``
+    Wire ports (provider port name defaults to the uses port name).
+``disconnect <user> <usesPort>``
+``destroy <instance>``
+``go <instance> [port]``
+    Run a GoPort; the script result is the last ``go``'s return value.
+``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cca.framework import Framework
+
+
+class ScriptError(ValueError):
+    """Raised on malformed script lines, with line-number context."""
+
+    def __init__(self, lineno: int, line: str, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}\n    {line}")
+        self.lineno = lineno
+
+
+@dataclass
+class ScriptResult:
+    """What a script execution produced."""
+
+    framework: Framework
+    #: instance names created by the script, in order
+    created: list[str] = field(default_factory=list)
+    #: return value of the last ``go`` (None if the script never ran one)
+    go_result: Any = None
+    #: number of commands executed (excluding comments/blanks)
+    commands: int = 0
+
+
+def _parse_kwargs(tokens: list[str], lineno: int, line: str) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ScriptError(lineno, line, f"expected key=value, got {tok!r}")
+        key, _, raw = tok.partition("=")
+        if not key.isidentifier():
+            raise ScriptError(lineno, line, f"invalid keyword name {key!r}")
+        try:
+            kwargs[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            # Bare words are treated as strings (CCAFFEINE rc style).
+            kwargs[key] = raw
+    return kwargs
+
+
+def run_script(framework: Framework, text: str) -> ScriptResult:
+    """Execute an assembly script against a framework.
+
+    Component class names resolve through the framework's repository — the
+    scripting analog of loading shared objects by name at run time.
+    """
+    result = ScriptResult(framework=framework)
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        cmd, args = tokens[0], tokens[1:]
+        try:
+            if cmd == "instantiate":
+                if len(args) < 2:
+                    raise ScriptError(lineno, raw_line,
+                                      "usage: instantiate <Class> <instance> [k=v ...]")
+                cls_name, instance = args[0], args[1]
+                kwargs = _parse_kwargs(args[2:], lineno, raw_line)
+                framework.create(instance, cls_name, **kwargs)
+                result.created.append(instance)
+            elif cmd == "connect":
+                if len(args) not in (3, 4):
+                    raise ScriptError(lineno, raw_line,
+                                      "usage: connect <user> <usesPort> <provider> [providesPort]")
+                provides = args[3] if len(args) == 4 else None
+                framework.connect(args[0], args[1], args[2], provides)
+            elif cmd == "disconnect":
+                if len(args) != 2:
+                    raise ScriptError(lineno, raw_line,
+                                      "usage: disconnect <user> <usesPort>")
+                framework.disconnect(args[0], args[1])
+            elif cmd == "destroy":
+                if len(args) != 1:
+                    raise ScriptError(lineno, raw_line, "usage: destroy <instance>")
+                framework.destroy(args[0])
+            elif cmd == "go":
+                if len(args) not in (1, 2):
+                    raise ScriptError(lineno, raw_line, "usage: go <instance> [port]")
+                port = args[1] if len(args) == 2 else "go"
+                result.go_result = framework.go(args[0], provides_port=port)
+            else:
+                raise ScriptError(lineno, raw_line, f"unknown command {cmd!r}")
+        except ScriptError:
+            raise
+        except Exception as exc:
+            raise ScriptError(lineno, raw_line, f"{type(exc).__name__}: {exc}") from exc
+        result.commands += 1
+    return result

@@ -1,0 +1,110 @@
+"""Per-component Services handle.
+
+The framework hands each component a :class:`Services` object in
+``set_services``; the component uses it to declare ProvidesPorts (export an
+implementation object under a port name) and UsesPorts (declare a
+dependency to be satisfied by a framework ``connect``), and later to fetch
+connected ports with :meth:`get_port`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cca.ports import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cca.framework import Framework
+
+
+class PortNotConnectedError(RuntimeError):
+    """Raised when a component fetches a uses port that is not connected."""
+
+
+@dataclass
+class ProvidedPort:
+    """A port implementation exported by a component."""
+
+    name: str
+    port_type: type[Port]
+    impl: Port
+
+
+@dataclass
+class UsedPort:
+    """A declared dependency, satisfied (or not) by a connection."""
+
+    name: str
+    port_type: type[Port]
+    impl: Port | None = None
+    provider_instance: str | None = None
+
+
+class Services:
+    """The registration/lookup surface a component sees."""
+
+    def __init__(self, instance_name: str, framework: "Framework") -> None:
+        self.instance_name = instance_name
+        self.framework = framework
+        self.provided: dict[str, ProvidedPort] = {}
+        self.used: dict[str, UsedPort] = {}
+
+    # ---------------------------------------------------------- provides
+    def add_provides_port(self, impl: Port, name: str, port_type: type[Port]) -> None:
+        """Export ``impl`` (an object implementing ``port_type``) as ``name``."""
+        if name in self.provided:
+            raise ValueError(f"{self.instance_name}: provides port {name!r} already registered")
+        if not isinstance(impl, port_type):
+            raise TypeError(
+                f"{self.instance_name}: provides port {name!r} implementation "
+                f"{type(impl).__name__} does not implement {port_type.__name__}"
+            )
+        self.provided[name] = ProvidedPort(name=name, port_type=port_type, impl=impl)
+
+    # -------------------------------------------------------------- uses
+    def register_uses_port(self, name: str, port_type: type[Port]) -> None:
+        """Declare that this component will call through port ``name``."""
+        if name in self.used:
+            raise ValueError(f"{self.instance_name}: uses port {name!r} already registered")
+        if not (isinstance(port_type, type) and issubclass(port_type, Port)):
+            raise TypeError(f"uses port type must be a Port subclass, got {port_type!r}")
+        self.used[name] = UsedPort(name=name, port_type=port_type)
+
+    def get_port(self, name: str) -> Port:
+        """Fetch the connected implementation behind uses port ``name``.
+
+        This is the "virtual function call overhead before the actual
+        implemented method" boundary — and where proxies interpose.
+        """
+        # Framework-builtin ports (AbstractFramework, MPI) short-circuit.
+        builtin = self.framework.builtin_port(name)
+        if builtin is not None:
+            return builtin
+        try:
+            up = self.used[name]
+        except KeyError:
+            raise PortNotConnectedError(
+                f"{self.instance_name}: uses port {name!r} was never registered"
+            ) from None
+        if up.impl is None:
+            raise PortNotConnectedError(
+                f"{self.instance_name}: uses port {name!r} is not connected"
+            )
+        return up.impl
+
+    # ------------------------------------------------- framework plumbing
+    def _bind(self, name: str, impl: Port, provider_instance: str) -> None:
+        up = self.used[name]
+        if not isinstance(impl, up.port_type):
+            raise TypeError(
+                f"cannot connect {provider_instance} to {self.instance_name}.{name}: "
+                f"{type(impl).__name__} does not implement {up.port_type.__name__}"
+            )
+        up.impl = impl
+        up.provider_instance = provider_instance
+
+    def _unbind(self, name: str) -> None:
+        up = self.used[name]
+        up.impl = None
+        up.provider_instance = None

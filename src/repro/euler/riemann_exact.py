@@ -1,0 +1,124 @@
+"""Exact Riemann solution sampling at arbitrary similarity coordinates.
+
+:mod:`repro.euler.godunov` samples the self-similar solution only at
+``x/t = 0`` (all a Godunov flux needs).  This module generalizes the
+sampler to any ``xi = x/t`` (Toro Section 4.5 in full), giving exact
+reference profiles — e.g. the Sod shock tube — against which the whole
+component solver is validated quantitatively (L1 error and convergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.eos import GAMMA_DEFAULT, P_FLOOR, RHO_FLOOR
+from repro.euler.godunov import solve_star_pressure
+
+__all__ = ["sample_riemann", "sod_exact", "SOD_LEFT", "SOD_RIGHT"]
+
+#: canonical Sod states (rho, u, p)
+SOD_LEFT = (1.0, 0.0, 1.0)
+SOD_RIGHT = (0.125, 0.0, 0.1)
+
+
+def sample_riemann(
+    left: tuple[float, float, float],
+    right: tuple[float, float, float],
+    xi: np.ndarray,
+    gamma: float = GAMMA_DEFAULT,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact solution (rho, u, p) of a Riemann problem at ``xi = x/t``.
+
+    ``left``/``right`` are (rho, u, p) states; ``xi`` is an array of
+    similarity coordinates.  Vectorized over ``xi``.
+    """
+    rho_l, u_l, p_l = (float(v) for v in left)
+    rho_r, u_r, p_r = (float(v) for v in right)
+    if min(rho_l, rho_r) <= 0 or min(p_l, p_r) <= 0:
+        raise ValueError("densities and pressures must be positive")
+    xi = np.asarray(xi, dtype=float)
+
+    one = np.ones(1)
+    p_star_a, u_star_a, _ = solve_star_pressure(
+        rho_l * one, u_l * one, p_l * one,
+        rho_r * one, u_r * one, p_r * one, gamma,
+    )
+    p_star, u_star = float(p_star_a[0]), float(u_star_a[0])
+
+    gp1, gm1 = gamma + 1.0, gamma - 1.0
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_side = xi <= u_star
+
+    # ---------------- left of the contact ----------------
+    if p_star > p_l:  # left shock
+        s_l = u_l - c_l * np.sqrt(gp1 / (2 * gamma) * p_star / p_l + gm1 / (2 * gamma))
+        rho_star = rho_l * ((p_star / p_l + gm1 / gp1)
+                            / (p_star / p_l * gm1 / gp1 + 1.0))
+        in_pre = left_side & (xi <= s_l)
+        in_star = left_side & (xi > s_l)
+        rho[in_pre], u[in_pre], p[in_pre] = rho_l, u_l, p_l
+        rho[in_star], u[in_star], p[in_star] = rho_star, u_star, p_star
+    else:  # left rarefaction
+        c_star = c_l * (p_star / p_l) ** (gm1 / (2 * gamma))
+        rho_star = rho_l * (p_star / p_l) ** (1.0 / gamma)
+        head, tail = u_l - c_l, u_star - c_star
+        in_pre = left_side & (xi <= head)
+        in_fan = left_side & (xi > head) & (xi < tail)
+        in_star = left_side & (xi >= tail)
+        rho[in_pre], u[in_pre], p[in_pre] = rho_l, u_l, p_l
+        rho[in_star], u[in_star], p[in_star] = rho_star, u_star, p_star
+        c_fan = 2.0 / gp1 * (c_l + 0.5 * gm1 * (u_l - xi[in_fan]))
+        u[in_fan] = 2.0 / gp1 * (c_l + 0.5 * gm1 * u_l + xi[in_fan])
+        rho[in_fan] = rho_l * (c_fan / c_l) ** (2.0 / gm1)
+        p[in_fan] = p_l * (c_fan / c_l) ** (2.0 * gamma / gm1)
+
+    # ---------------- right of the contact ----------------
+    right_side = ~left_side
+    if p_star > p_r:  # right shock
+        s_r = u_r + c_r * np.sqrt(gp1 / (2 * gamma) * p_star / p_r + gm1 / (2 * gamma))
+        rho_star = rho_r * ((p_star / p_r + gm1 / gp1)
+                            / (p_star / p_r * gm1 / gp1 + 1.0))
+        in_post = right_side & (xi >= s_r)
+        in_star = right_side & (xi < s_r)
+        rho[in_post], u[in_post], p[in_post] = rho_r, u_r, p_r
+        rho[in_star], u[in_star], p[in_star] = rho_star, u_star, p_star
+    else:  # right rarefaction
+        c_star = c_r * (p_star / p_r) ** (gm1 / (2 * gamma))
+        rho_star = rho_r * (p_star / p_r) ** (1.0 / gamma)
+        head, tail = u_r + c_r, u_star + c_star
+        in_post = right_side & (xi >= head)
+        in_fan = right_side & (xi < head) & (xi > tail)
+        in_star = right_side & (xi <= tail)
+        rho[in_post], u[in_post], p[in_post] = rho_r, u_r, p_r
+        rho[in_star], u[in_star], p[in_star] = rho_star, u_star, p_star
+        c_fan = 2.0 / gp1 * (c_r - 0.5 * gm1 * (u_r - xi[in_fan]))
+        u[in_fan] = 2.0 / gp1 * (-c_r + 0.5 * gm1 * u_r + xi[in_fan])
+        rho[in_fan] = rho_r * (c_fan / c_r) ** (2.0 / gm1)
+        p[in_fan] = p_r * (c_fan / c_r) ** (2.0 * gamma / gm1)
+
+    return (np.maximum(rho, RHO_FLOOR), u, np.maximum(p, P_FLOOR))
+
+
+def sod_exact(x: np.ndarray, t: float, x0: float = 0.5,
+              gamma: float = GAMMA_DEFAULT):
+    """Exact Sod shock-tube solution at time ``t`` (diaphragm at ``x0``).
+
+    Returns ``(rho, u, p)`` arrays over ``x``.  At ``t == 0`` the initial
+    discontinuity is returned.
+    """
+    x = np.asarray(x, dtype=float)
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    if t == 0.0:
+        left_mask = x < x0
+        rho = np.where(left_mask, SOD_LEFT[0], SOD_RIGHT[0])
+        u = np.zeros_like(x)
+        p = np.where(left_mask, SOD_LEFT[2], SOD_RIGHT[2])
+        return rho, u, p
+    return sample_riemann(SOD_LEFT, SOD_RIGHT, (x - x0) / t, gamma)

@@ -1,0 +1,83 @@
+"""Problem setup: a Mach-1.5 shock approaching an Air/Freon interface.
+
+The paper simulates "the interaction of a shock wave with an interface
+between two gases" (Richtmyer-Meshkov style, after Samtaney & Zabusky).
+The initial condition has three x-zones:
+
+1. post-shock air (left of ``shock_x``) — Rankine-Hugoniot state for the
+   chosen Mach number;
+2. quiescent pre-shock air up to the (slightly curved) interface;
+3. quiescent heavy gas ("Freon": air density x ``density_ratio``) beyond.
+
+A single gamma is used for both gases (DESIGN.md substitution); the
+density jump preserves the wave structure the AMR refines on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.euler.eos import GAMMA_DEFAULT
+from repro.euler.ports import DriverParams
+from repro.util.validation import check_positive
+
+#: quiescent reference state (pre-shock air)
+RHO_AIR = 1.0
+P0 = 1.0
+
+
+def post_shock_state(
+    mach: float,
+    rho0: float = RHO_AIR,
+    p0: float = P0,
+    gamma: float = GAMMA_DEFAULT,
+) -> tuple[float, float, float]:
+    """Rankine-Hugoniot state behind a Mach-``mach`` shock moving into
+    still gas ``(rho0, u=0, p0)``.
+
+    Returns ``(rho2, u2, p2)`` with ``u2`` the post-shock gas speed in the
+    shock's travel direction.
+    """
+    check_positive("mach", mach)
+    if mach < 1.0:
+        raise ValueError(f"shock Mach number must be >= 1, got {mach}")
+    m2 = mach * mach
+    gp1, gm1 = gamma + 1.0, gamma - 1.0
+    p2 = p0 * (1.0 + 2.0 * gamma / gp1 * (m2 - 1.0))
+    rho2 = rho0 * gp1 * m2 / (gm1 * m2 + 2.0)
+    c0 = np.sqrt(gamma * p0 / rho0)
+    u2 = 2.0 / gp1 * (mach - 1.0 / mach) * c0
+    return (float(rho2), float(u2), float(p2))
+
+
+def shock_interface_ic(
+    params: DriverParams,
+    gamma: float = GAMMA_DEFAULT,
+    perturbation: float = 0.02,
+) -> Callable[[np.ndarray, np.ndarray], dict[str, np.ndarray]]:
+    """Initial-condition function ``fn(X, Y) -> {field: array}``.
+
+    ``perturbation`` curves the gas interface sinusoidally in y so the
+    interaction develops 2-D structure (the paper's Figure 1 rollup).
+    """
+    rho2, u2, p2 = post_shock_state(params.mach, gamma=gamma)
+    rho_heavy = RHO_AIR * params.density_ratio
+
+    def ic(X: np.ndarray, Y: np.ndarray) -> dict[str, np.ndarray]:
+        x_if = params.interface_x + perturbation * np.cos(2.0 * np.pi * Y)
+        rho = np.where(
+            X < params.shock_x, rho2, np.where(X < x_if, RHO_AIR, rho_heavy)
+        )
+        u = np.where(X < params.shock_x, u2, 0.0)
+        p = np.where(X < params.shock_x, p2, P0)
+        E = p / (gamma - 1.0) + 0.5 * rho * u**2
+        return {
+            "rho": rho,
+            "mx": rho * u,
+            "my": np.zeros_like(rho),
+            "E": E,
+        }
+
+    return ic

@@ -1,0 +1,59 @@
+"""ShockDriver: the application orchestrator (paper Figure 2, left).
+
+"On the left is the ShockDriver, a component that orchestrates the
+simulation."  Its GoPort sets up the shock/interface problem, then time-
+steps the hierarchy, triggering a load-balancing regrid at the configured
+interval ("During the course of the simulation, the application was
+load-balanced once, resulting in a different domain decomposition" —
+Figure 9's two clusters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports import GoPort
+from repro.cca.services import Services
+from repro.euler.eos import GAMMA_DEFAULT
+from repro.euler.ports import DriverParams, IntegratorPort, MeshPort
+from repro.euler.setup import shock_interface_ic
+
+
+class ShockDriver(Component, GoPort):
+    """Top-level driver component (provides port ``"go"``)."""
+
+    MESH_USES = "mesh"
+    INTEGRATOR_USES = "integrator"
+
+    def __init__(self, params: DriverParams | None = None,
+                 gamma: float = GAMMA_DEFAULT) -> None:
+        self.params = params or DriverParams()
+        self.gamma = float(gamma)
+        self._services: Services | None = None
+        #: per-step time step sizes actually taken
+        self.dt_history: list[float] = []
+
+    def set_services(self, services: Services) -> None:
+        self._services = services
+        services.register_uses_port(self.MESH_USES, MeshPort)
+        services.register_uses_port(self.INTEGRATOR_USES, IntegratorPort)
+        services.add_provides_port(self, "go", GoPort)
+
+    def go(self) -> int:
+        """Run the configured number of coarse steps; 0 on success."""
+        if self._services is None:
+            raise RuntimeError("ShockDriver not initialized by a framework")
+        p = self.params
+        mesh: MeshPort = self._services.get_port(self.MESH_USES)
+        integrator: IntegratorPort = self._services.get_port(self.INTEGRATOR_USES)
+        mesh.initialize(shock_interface_ic(p, self.gamma))
+        for step in range(p.steps):
+            if step > 0 and p.regrid_every > 0 and step % p.regrid_every == 0:
+                mesh.regrid()
+            dt = integrator.compute_dt(p.cfl)
+            if not np.isfinite(dt) or dt <= 0:
+                raise FloatingPointError(f"unstable time step {dt} at step {step}")
+            self.dt_history.append(dt)
+            integrator.advance(0, dt)
+        return 0

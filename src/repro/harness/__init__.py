@@ -1,0 +1,62 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One function per experiment (see the index in DESIGN.md Section 4):
+
+* :func:`repro.harness.figures.fig3_profile` — FUNCTION SUMMARY table;
+* :func:`repro.harness.figures.fig4_states_modes` — States sequential vs
+  strided execution times;
+* :func:`repro.harness.figures.fig5_stride_ratio` — strided/sequential
+  ratio vs Q;
+* :func:`repro.harness.figures.fig6_states_model` / ``fig7`` / ``fig8`` —
+  mean + standard deviation vs Q with Eq. 1/2-style fits for States,
+  GodunovFlux, EFMFlux;
+* :func:`repro.harness.figures.fig9_comm_levels` — per-level ghost-update
+  message-passing times with one mid-run regrid;
+* :func:`repro.harness.figures.fig10_dual_graph` — the application dual
+  and assembly optimization.
+
+:mod:`repro.harness.report` renders the results as text and assembles
+EXPERIMENTS.md.
+"""
+
+from repro.harness.casestudy import CaseStudyConfig, compose_case_study, run_case_study
+from repro.harness.sweeps import (
+    q_grid,
+    synthetic_patch_stack,
+    measure_mode_sweep,
+    SweepSamples,
+)
+from repro.harness.visualization import (ascii_field, assemble_level_field,
+                                         field_to_csv, wiring_to_text)
+from repro.harness.figures import (
+    fig3_profile,
+    fig4_states_modes,
+    fig5_stride_ratio,
+    fig6_states_model,
+    fig7_godunov_model,
+    fig8_efm_model,
+    fig9_comm_levels,
+    fig10_dual_graph,
+)
+
+__all__ = [
+    "CaseStudyConfig",
+    "compose_case_study",
+    "run_case_study",
+    "q_grid",
+    "synthetic_patch_stack",
+    "measure_mode_sweep",
+    "SweepSamples",
+    "fig3_profile",
+    "fig4_states_modes",
+    "fig5_stride_ratio",
+    "fig6_states_model",
+    "fig7_godunov_model",
+    "fig8_efm_model",
+    "fig9_comm_levels",
+    "fig10_dual_graph",
+    "ascii_field",
+    "assemble_level_field",
+    "field_to_csv",
+    "wiring_to_text",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.harness [--fast]`` — regenerate EXPERIMENTS.md."""
+
+import sys
+
+from repro.harness.report import ReportScale, write_experiments_md
+
+if __name__ == "__main__":
+    fast = "--fast" in sys.argv
+    print(write_experiments_md(scale=ReportScale.fast() if fast else None))

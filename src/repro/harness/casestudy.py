@@ -1,0 +1,143 @@
+"""Composition and execution of the instrumented case-study application.
+
+Assembles the paper's Figure 2 component graph: ShockDriver, AMRMesh, RK2,
+InviscidFlux, States and a flux implementation (EFMFlux or GodunovFlux),
+plus the PMM infrastructure — TauMeasurement, Mastermind and three proxies
+(States, flux, AMRMesh) interposed exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cca.framework import Framework
+from repro.cca.scmd import ScmdResult, run_scmd
+from repro.euler.efm import EFMFluxComponent
+from repro.euler.godunov import GodunovFluxComponent
+from repro.euler.inviscid import InviscidFluxComponent
+from repro.euler.mesh_component import AMRMeshComponent
+from repro.euler.ports import DriverParams
+from repro.euler.rk2 import RK2Component
+from repro.euler.shockdriver import ShockDriver
+from repro.euler.states import StatesComponent
+from repro.mpi.network import NetworkModel
+from repro.perf.mastermind import Mastermind
+from repro.perf.proxy import insert_proxy
+from repro.tau.component import TauMeasurementComponent
+
+FLUX_CLASSES = {"efm": EFMFluxComponent, "godunov": GodunovFluxComponent}
+
+#: proxy labels following the paper's profile (Figure 3): sc_proxy wraps
+#: States, g_proxy wraps the flux component, amr_proxy wraps AMRMesh.
+STATES_PROXY = "sc_proxy"
+FLUX_PROXY = "g_proxy"
+MESH_PROXY = "amr_proxy"
+#: extension beyond the paper's three proxies: monitoring InviscidFlux's
+#: RhsPort gives the call trace its caller/callee nesting, so the dual
+#: graph (Figure 10) gets real invocation-weighted edges.
+RHS_PROXY = "if_proxy"
+
+
+@dataclass
+class CaseStudyConfig:
+    """Everything one case-study run needs."""
+
+    params: DriverParams = field(default_factory=DriverParams)
+    flux: str = "efm"
+    instrument: bool = True
+    nranks: int = 3
+    seed: int | None = 0
+    #: network calibrated so message passing is a significant fraction of
+    #: the profile (the paper's commodity cluster spent ~25% of runtime in
+    #: MPI_Waitsome; our Python compute is slower relative to the wire, so
+    #: the modeled wire is made correspondingly slower — see EXPERIMENTS.md)
+    network: NetworkModel = field(default_factory=lambda: NetworkModel(
+        latency_us=3000.0, bandwidth_bytes_per_us=4.0, jitter_sigma=0.25))
+    balancer: str = "knapsack"
+    #: also proxy InviscidFlux's rhs port (call-path nesting for the dual)
+    proxy_rhs: bool = True
+
+
+@dataclass
+class RankHarvest:
+    """Per-rank measurement payload pulled out of the rank thread."""
+
+    #: the rank's Mastermind (records, call path, model building)
+    mastermind: Mastermind
+    records: dict[tuple[str, str], Any]
+    callpath_edges: dict[tuple[str, str], int]
+    wiring_nodes: list[str]
+
+
+def compose_case_study(fw: Framework, config: CaseStudyConfig) -> None:
+    """Create and wire the full application inside one rank's framework."""
+    try:
+        flux_cls = FLUX_CLASSES[config.flux]
+    except KeyError:
+        raise ValueError(
+            f"flux must be one of {sorted(FLUX_CLASSES)}, got {config.flux!r}"
+        ) from None
+    fw.create("states", StatesComponent)
+    fw.create("flux", flux_cls)
+    fw.create("inviscid", InviscidFluxComponent)
+    fw.create("rk2", RK2Component)
+    mesh = fw.create("mesh", AMRMeshComponent, params=config.params,
+                     balancer=config.balancer)
+    fw.create("driver", ShockDriver, params=config.params)
+    fw.connect("inviscid", "states", "states", "states")
+    fw.connect("inviscid", "flux", "flux", "flux")
+    fw.connect("rk2", "mesh", "mesh", "mesh")
+    fw.connect("rk2", "rhs", "inviscid", "rhs")
+    fw.connect("driver", "mesh", "mesh", "mesh")
+    fw.connect("driver", "integrator", "rk2", "integrator")
+    if not config.instrument:
+        return
+    fw.create("tau", TauMeasurementComponent)
+    fw.create("mastermind", Mastermind)
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+    insert_proxy(fw, "inviscid", "states", "mastermind", label=STATES_PROXY)
+    insert_proxy(fw, "inviscid", "flux", "mastermind", label=FLUX_PROXY)
+    if config.proxy_rhs:
+        insert_proxy(fw, "rk2", "rhs", "mastermind", label=RHS_PROXY)
+
+    def _mesh_params(args: tuple, kwargs: dict) -> dict:
+        level = args[0] if args else kwargs.get("level", 0)
+        h = mesh._hierarchy
+        return {"level": int(level), "decomp": h.regrid_count if h is not None else 0}
+
+    insert_proxy(
+        fw, "rk2", "mesh", "mastermind", label=MESH_PROXY,
+        methods=["ghost_update", "sync_down"],
+        extractors={"ghost_update": _mesh_params, "sync_down": _mesh_params},
+    )
+
+
+def _harvest(fw: Framework) -> RankHarvest | None:
+    try:
+        mm: Mastermind = fw.component("mastermind")
+    except KeyError:
+        return None
+    return RankHarvest(
+        mastermind=mm,
+        records={rec.key: rec for rec in mm.all_records()},
+        callpath_edges=dict(mm.callpath.edge_counts),
+        wiring_nodes=fw.instance_names(),
+    )
+
+
+def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
+    """Run the case study on ``config.nranks`` simulated processors.
+
+    ``result.extras[rank]`` holds each rank's :class:`RankHarvest` when
+    instrumentation is on.
+    """
+    config = config or CaseStudyConfig()
+    return run_scmd(
+        config.nranks,
+        lambda fw: compose_case_study(fw, config),
+        go_instance="driver",
+        network=config.network,
+        seed=config.seed,
+        extract=_harvest,
+    )

@@ -1,0 +1,146 @@
+"""Workload generation and kernel timing sweeps (Figures 4-8).
+
+The paper times States/GodunovFlux/EFMFlux per invocation against the
+input array size Q ("the actual number of elements in the array. The
+elements are double precision numbers"), in both the sequential (X) and
+strided (Y) access modes, on 3 processors.
+
+:func:`measure_mode_sweep` reproduces that data collection: for each Q a
+square ghosted patch stack with shock-like content is built, the component
+is invoked through its public port in both modes, and wall times are
+recorded per (Q, mode, proc).  "Procs" are measured sequentially — the
+timing variability within a proc is the host's genuine cache/noise
+behaviour, which is what the paper's models capture.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.euler.eos import GAMMA_DEFAULT, conserved_from_primitive
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+
+def q_grid(n_points: int = 10, qmin: int = 1_000, qmax: int = 450_000) -> list[int]:
+    """Geometric grid of array sizes spanning the paper's Q range.
+
+    Sizes are snapped to perfect squares so patches are square (any aspect
+    ratio works; squares keep the two sweep directions comparable).
+    """
+    check_positive("n_points", n_points)
+    if not (0 < qmin < qmax):
+        raise ValueError(f"need 0 < qmin < qmax, got {qmin}, {qmax}")
+    sides = np.unique(
+        np.round(np.geomspace(math.sqrt(qmin), math.sqrt(qmax), n_points)).astype(int)
+    )
+    return [int(s * s) for s in sides]
+
+
+def synthetic_patch_stack(
+    q: int,
+    nghost: int = 2,
+    seed: int | np.random.Generator | None = 0,
+    gamma: float = GAMMA_DEFAULT,
+) -> np.ndarray:
+    """A ghosted conserved stack ``(4, n+2g, n+2g)`` with ``n*n ~ q``.
+
+    Contents mix a contact, a shock-like pressure jump and smooth noise so
+    the Godunov solver's Newton iteration count varies with the data, as it
+    does on real patches.
+    """
+    check_positive("q", q)
+    rng = make_rng(seed)
+    n = max(4, int(round(math.sqrt(q))))
+    m = n + 2 * nghost
+    x = np.linspace(0.0, 1.0, m)
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    rho = np.where(X < 0.5, 1.0, 3.0) + 0.05 * rng.standard_normal((m, m))
+    p = np.where(Y < 0.5, 1.0, 2.5) + 0.05 * rng.standard_normal((m, m))
+    u = 0.3 * np.sin(2 * np.pi * X) + 0.02 * rng.standard_normal((m, m))
+    v = 0.2 * np.cos(2 * np.pi * Y) + 0.02 * rng.standard_normal((m, m))
+    rho = np.maximum(rho, 0.1)
+    p = np.maximum(p, 0.1)
+    return conserved_from_primitive(np.stack([rho, u, v, p]), gamma)
+
+
+@dataclass
+class SweepSamples:
+    """Flat sample table from a mode sweep."""
+
+    q: list[int] = field(default_factory=list)
+    mode: list[str] = field(default_factory=list)
+    proc: list[int] = field(default_factory=list)
+    time_us: list[float] = field(default_factory=list)
+
+    def add(self, q: int, mode: str, proc: int, time_us: float) -> None:
+        self.q.append(q)
+        self.mode.append(mode)
+        self.proc.append(proc)
+        self.time_us.append(time_us)
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    def select(self, mode: str | None = None, proc: int | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """(Q, time_us) arrays filtered by mode and/or proc."""
+        qs, ts = [], []
+        for i in range(len(self.q)):
+            if mode is not None and self.mode[i] != mode:
+                continue
+            if proc is not None and self.proc[i] != proc:
+                continue
+            qs.append(self.q[i])
+            ts.append(self.time_us[i])
+        return np.asarray(qs, dtype=float), np.asarray(ts, dtype=float)
+
+    def mode_averaged(self) -> tuple[np.ndarray, np.ndarray]:
+        """All samples pooled over modes and procs (the paper's averaging:
+        'both the X- and Y-derivatives are calculated and the two modes ...
+        are invoked in an alternating fashion. Thus, for performance
+        modeling purposes, we consider an average')."""
+        return self.select()
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    """Wall-clock one call in microseconds."""
+    t0 = time.perf_counter_ns()
+    fn()
+    return (time.perf_counter_ns() - t0) / 1_000.0
+
+
+def measure_mode_sweep(
+    invoke: Callable[[np.ndarray, str], object],
+    qs: Sequence[int] | None = None,
+    *,
+    nprocs: int = 3,
+    repeats: int = 3,
+    nghost: int = 2,
+    seed: int = 0,
+    warmup: bool = True,
+) -> SweepSamples:
+    """Time ``invoke(U, mode)`` over a Q sweep in both access modes.
+
+    ``invoke`` is the component's public entry point — e.g.
+    ``states.compute`` or a composed ``states+flux`` call — so proxies can
+    be part of the measured path when the caller wires them in.
+    """
+    qs = list(qs) if qs is not None else q_grid()
+    samples = SweepSamples()
+    rng = make_rng(seed)
+    if warmup:
+        invoke(synthetic_patch_stack(qs[0], nghost, rng), "x")
+    for proc in range(nprocs):
+        for q in qs:
+            U = synthetic_patch_stack(q, nghost, rng)
+            for _ in range(repeats):
+                for mode in ("x", "y"):
+                    dt_us = time_call(lambda: invoke(U, mode))
+                    samples.add(q, mode, proc, dt_us)
+    return samples

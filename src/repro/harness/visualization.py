@@ -1,0 +1,115 @@
+"""Field visualization: ASCII/CSV renderings of hierarchy data (Figure 1).
+
+The paper's Figure 1 plots the density field with the AMR patch outlines.
+In a text-only environment we render the coarse field as ASCII shades with
+a refinement overlay, and export exact data as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.hierarchy import GridHierarchy
+from repro.util.validation import check_positive
+
+#: density shades from low to high
+SHADES = " .:-=+*#%@"
+#: marker drawn where a finer level covers the cell
+REFINED_MARK = "&"
+
+
+def assemble_level_field(hierarchy: GridHierarchy, field: str,
+                         level: int = 0) -> np.ndarray:
+    """Stitch a level's local patch interiors into one global array.
+
+    Cells not covered by a locally-owned patch are NaN (distributed runs
+    own only part of the level; serial runs produce a complete field).
+    """
+    lbox = hierarchy.level_box(level)
+    out = np.full(lbox.shape, np.nan)
+    for p in hierarchy.levels[level]:
+        if hierarchy.is_local(p) and field in p.fields:
+            out[p.box.slices(lbox)] = p.interior(field)
+    return out
+
+
+def refinement_mask(hierarchy: GridHierarchy, level: int = 0) -> np.ndarray:
+    """Boolean mask over a level: True where level+1 patches cover it."""
+    lbox = hierarchy.level_box(level)
+    mask = np.zeros(lbox.shape, dtype=bool)
+    if level + 1 >= hierarchy.max_levels:
+        return mask
+    for p in hierarchy.levels[level + 1]:
+        cb = p.box.coarsen(hierarchy.r)
+        ov = cb.intersection(lbox)
+        if ov is not None:
+            mask[ov.slices(lbox)] = True
+    return mask
+
+
+def ascii_field(
+    hierarchy: GridHierarchy,
+    field: str = "rho",
+    width: int = 64,
+    height: int = 28,
+    show_refinement: bool = True,
+) -> str:
+    """ASCII rendering of a level-0 field with the refinement overlay."""
+    check_positive("width", width)
+    check_positive("height", height)
+    data = assemble_level_field(hierarchy, field, 0)
+    refined = refinement_mask(hierarchy, 0) if show_refinement else \
+        np.zeros_like(data, dtype=bool)
+    finite = data[np.isfinite(data)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = (hi - lo) or 1.0
+    ni, nj = data.shape
+    rows = []
+    for i in np.linspace(0, ni - 1, min(height, ni)).astype(int):
+        row = []
+        for j in np.linspace(0, nj - 1, min(width, nj)).astype(int):
+            if refined[i, j]:
+                row.append(REFINED_MARK)
+            elif not np.isfinite(data[i, j]):
+                row.append("?")
+            else:
+                k = int((data[i, j] - lo) / span * (len(SHADES) - 1))
+                row.append(SHADES[k])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def wiring_to_text(g) -> str:
+    """Text rendering of a framework wiring diagram (the Figure-2 analog).
+
+    One line per component with its class, then one line per port
+    connection, in deterministic order.
+    """
+    lines = ["components:"]
+    for node in sorted(g.nodes):
+        data = g.nodes[node]
+        func = data.get("functionality")
+        suffix = f" (functionality: {func})" if func else ""
+        lines.append(f"  {node}: {data.get('component_class', '?')}{suffix}")
+    lines.append("connections (user --port--> provider):")
+    edges = sorted(g.edges(data=True), key=lambda e: (e[0], e[1], e[2].get("port", "")))
+    for user, provider, data in edges:
+        lines.append(f"  {user} --{data.get('port', '?')}--> {provider}")
+    if len(edges) == 0:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def field_to_csv(hierarchy: GridHierarchy, field: str, path: str,
+                 level: int = 0) -> None:
+    """Write one level's field as ``x,y,value`` CSV (local patches only)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("x,y,value\n")
+        for p in hierarchy.levels[level]:
+            if not (hierarchy.is_local(p) and field in p.fields):
+                continue
+            X, Y = hierarchy.cell_centers(p)
+            vals = p.interior(field)
+            for x, y, v in zip(X.ravel(), Y.ravel(), vals.ravel()):
+                fh.write(f"{x:.6g},{y:.6g},{v:.6g}\n")

@@ -1,0 +1,203 @@
+"""Composite performance model over a component assembly.
+
+"The wiring diagram (available from the framework) along with the call
+trace (detected and recorded by the performance infrastructure) can be used
+by the Mastermind to create a composite performance model where the
+variables are the individual performance models of the components
+themselves" (paper Section 6).
+
+A :class:`CompositeModel` is implementation-independent: each node of the
+call graph is either *bound* to a concrete :class:`PerformanceModel` or is
+a free *slot* (variable) keyed by functionality.  Evaluating the composite
+requires a binding of every slot; the evaluation sums, over nodes, the
+invocation-weighted model predictions for the node's recorded workload.
+This is the "cost function" the assembly optimizer minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.models.performance import PerformanceModel
+
+
+@dataclass(frozen=True)
+class Workload:
+    """The workload one node saw: parameter values and invocation counts.
+
+    ``q_values[i]`` was presented ``counts[i]`` times.  The Mastermind
+    derives this from the per-invocation parameter records.
+    """
+
+    q_values: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.q_values) != len(self.counts):
+            raise ValueError("q_values and counts must have equal length")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("invocation counts must be non-negative")
+
+    @classmethod
+    def from_samples(cls, samples) -> "Workload":
+        """Build from a flat iterable of observed Q values."""
+        vals, counts = np.unique(np.asarray(list(samples), dtype=float), return_counts=True)
+        return cls(tuple(float(v) for v in vals), tuple(int(c) for c in counts))
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(self.counts)
+
+    def expected_cost(self, model: PerformanceModel) -> float:
+        """Sum over the workload of the model's predicted mean time."""
+        if not self.q_values:
+            return 0.0
+        preds = np.atleast_1d(model.predict_mean(np.asarray(self.q_values)))
+        return float(np.sum(preds * np.asarray(self.counts)))
+
+    def cost_std(self, model: PerformanceModel) -> float:
+        """Predicted standard deviation of the total cost.
+
+        Invocations are treated as independent, so variances add.
+        """
+        if not self.q_values:
+            return 0.0
+        stds = np.atleast_1d(model.predict_std(np.asarray(self.q_values)))
+        var = float(np.sum(np.asarray(self.counts) * stds**2))
+        return float(np.sqrt(var))
+
+
+@dataclass
+class SlotCost:
+    """Per-node cost breakdown returned by :meth:`CompositeModel.evaluate`."""
+
+    node: str
+    model_name: str
+    compute_us: float
+    comm_us: float
+    invocations: int
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.comm_us
+
+
+@dataclass
+class _Node:
+    workload: Workload
+    model: PerformanceModel | None
+    slot: str | None
+    comm_us: float
+
+
+class CompositeModel:
+    """Implementation-independent cost model of an application.
+
+    Nodes are added either bound (a concrete model) or as free slots; edges
+    are informational (they mirror the dual graph's caller/callee edges and
+    invocation counts) and do not affect the additive cost evaluation.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _Node] = {}
+        self._edges: list[tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------ build
+    def add_node(
+        self,
+        name: str,
+        workload: Workload,
+        model: PerformanceModel | None = None,
+        slot: str | None = None,
+        comm_us: float = 0.0,
+    ) -> None:
+        """Add a component node.
+
+        Exactly one of ``model`` (bound) or ``slot`` (variable) must be
+        given.  ``comm_us`` is the node's measured/modeled message-passing
+        time, carried separately per Figure 10's vertex weights.
+        """
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already present")
+        if (model is None) == (slot is None):
+            raise ValueError(f"node {name!r}: give exactly one of model= or slot=")
+        if comm_us < 0:
+            raise ValueError(f"node {name!r}: negative comm time {comm_us}")
+        self._nodes[name] = _Node(workload=workload, model=model, slot=slot, comm_us=comm_us)
+
+    def add_edge(self, caller: str, callee: str, invocations: int) -> None:
+        """Record a caller->callee edge with its invocation count."""
+        for n in (caller, callee):
+            if n not in self._nodes:
+                raise KeyError(f"edge endpoint {n!r} is not a node")
+        if invocations < 0:
+            raise ValueError("invocation count must be non-negative")
+        self._edges.append((caller, callee, int(invocations)))
+
+    # ----------------------------------------------------------- queries
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        return list(self._edges)
+
+    def free_slots(self) -> dict[str, list[str]]:
+        """Map slot key -> node names still requiring a binding."""
+        out: dict[str, list[str]] = {}
+        for name, node in self._nodes.items():
+            if node.slot is not None:
+                out.setdefault(node.slot, []).append(name)
+        return out
+
+    # -------------------------------------------------------- evaluation
+    def evaluate(
+        self, bindings: Mapping[str, PerformanceModel] | None = None
+    ) -> tuple[float, list[SlotCost]]:
+        """Total predicted time (us) and the per-node breakdown.
+
+        ``bindings`` maps slot keys to concrete models; every free slot
+        must be bound or ``KeyError`` is raised (the model stays
+        implementation-independent until evaluation, as in the Imperial
+        College scheme).
+        """
+        bindings = bindings or {}
+        breakdown: list[SlotCost] = []
+        total = 0.0
+        for name in sorted(self._nodes):
+            node = self._nodes[name]
+            if node.model is not None:
+                model = node.model
+            else:
+                assert node.slot is not None
+                try:
+                    model = bindings[node.slot]
+                except KeyError:
+                    raise KeyError(
+                        f"composite evaluation requires a binding for slot "
+                        f"{node.slot!r} (node {name!r})"
+                    ) from None
+            compute = node.workload.expected_cost(model)
+            breakdown.append(SlotCost(
+                node=name,
+                model_name=model.name,
+                compute_us=compute,
+                comm_us=node.comm_us,
+                invocations=node.workload.total_invocations,
+            ))
+            total += compute + node.comm_us
+        return total, breakdown
+
+    def insignificant_nodes(self, bindings=None, fraction: float = 0.01) -> list[str]:
+        """Nodes contributing less than ``fraction`` of total predicted time.
+
+        Figure 10: "the caller-callee relationship is preserved to identify
+        subgraphs that are insignificant from the performance point of view"
+        and can be neglected during assembly optimization.
+        """
+        total, breakdown = self.evaluate(bindings)
+        if total <= 0:
+            return []
+        return [sc.node for sc in breakdown if sc.total_us < fraction * total]

@@ -1,0 +1,204 @@
+"""Regression families for component performance models.
+
+The paper fits "simple polynomial and power laws" by regression analysis
+(Section 5).  Every family reduces to linear least squares, possibly in a
+transformed space:
+
+* ``linear``      T = a + b Q                    (T_Godunov, T_EFM)
+* ``poly<k>``     T = c0 + c1 Q + ... + ck Q^k   (sigma_EFM, quartic)
+* ``power``       T = exp(a) * Q^b               (T_States: exp(1.19 log Q - 3.68))
+* ``exponential`` T = exp(a + b Q)               (sigma_States)
+* ``constant``    T = a
+
+Goodness of fit is summarized with R^2 and AIC (Gaussian-residual form);
+:func:`select_best` picks the family with the lowest AIC, which the
+ablation bench uses to confirm the paper's chosen forms win on their data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ModelFit",
+    "fit_linear",
+    "fit_polynomial",
+    "fit_power_law",
+    "fit_exponential",
+    "fit_constant",
+    "fit_family",
+    "select_best",
+    "FIT_FAMILIES",
+]
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """A fitted functional form ``T(Q)``.
+
+    ``coeffs`` are family-specific (documented per fit function);
+    ``formula`` is a human-readable rendering like the paper's Eq. 1.
+    """
+
+    family: str
+    coeffs: tuple[float, ...]
+    formula: str
+    r2: float
+    aic: float
+    n: int
+    _predict: Callable[[np.ndarray], np.ndarray] = field(repr=False, compare=False)
+
+    def predict(self, q: float | Sequence[float] | np.ndarray) -> np.ndarray | float:
+        """Evaluate the fitted model at Q (scalar in -> scalar out)."""
+        arr = np.asarray(q, dtype=float)
+        out = self._predict(np.atleast_1d(arr))
+        return float(out[0]) if arr.ndim == 0 else out
+
+    def __str__(self) -> str:
+        return f"{self.formula}  [R^2={self.r2:.4f}, AIC={self.aic:.1f}, n={self.n}]"
+
+
+def _as_xy(q: Sequence[float], t: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    qa = np.asarray(q, dtype=float)
+    ta = np.asarray(t, dtype=float)
+    if qa.ndim != 1 or ta.ndim != 1 or qa.size != ta.size:
+        raise ValueError(f"Q and T must be equal-length 1-D, got {qa.shape} vs {ta.shape}")
+    if qa.size < 2:
+        raise ValueError("need at least 2 points to fit")
+    return qa, ta
+
+
+def _gof(t: np.ndarray, pred: np.ndarray, k: int) -> tuple[float, float]:
+    """(R^2, AIC) for predictions with k fitted parameters."""
+    resid = t - pred
+    ss_res = float(resid @ resid)
+    ss_tot = float(((t - t.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+    n = t.size
+    # Gaussian log-likelihood AIC; guard zero residuals.
+    sigma2 = max(ss_res / n, 1e-300)
+    aic = n * math.log(sigma2) + 2 * (k + 1)
+    return r2, aic
+
+
+def fit_constant(q: Sequence[float], t: Sequence[float]) -> ModelFit:
+    """``T = a`` — baseline family. coeffs = (a,)."""
+    qa, ta = _as_xy(q, t)
+    a = float(ta.mean())
+    pred = np.full_like(ta, a)
+    r2, aic = _gof(ta, pred, 1)
+    return ModelFit("constant", (a,), f"T = {a:.4g}", r2, aic, ta.size,
+                    lambda x, a=a: np.full_like(np.asarray(x, float), a))
+
+
+def fit_linear(q: Sequence[float], t: Sequence[float]) -> ModelFit:
+    """``T = a + b Q`` (paper's T_Godunov, T_EFM). coeffs = (a, b)."""
+    qa, ta = _as_xy(q, t)
+    b, a = np.polyfit(qa, ta, 1)
+    pred = a + b * qa
+    r2, aic = _gof(ta, pred, 2)
+    return ModelFit("linear", (float(a), float(b)),
+                    f"T = {a:.4g} + {b:.4g} Q", r2, aic, ta.size,
+                    lambda x, a=a, b=b: a + b * np.asarray(x, float))
+
+
+def fit_polynomial(q: Sequence[float], t: Sequence[float], degree: int) -> ModelFit:
+    """``T = sum c_i Q^i`` up to ``degree`` (sigma_EFM is quartic).
+
+    coeffs = (c0, c1, ..., c_degree), ascending powers.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    qa, ta = _as_xy(q, t)
+    if qa.size <= degree:
+        raise ValueError(f"need more than {degree} points for degree-{degree} fit")
+    # Scale Q to avoid ill-conditioning at Q ~ 1e5 and degree 4.
+    scale = float(np.abs(qa).max()) or 1.0
+    c_desc = np.polyfit(qa / scale, ta, degree)
+    c_asc = tuple(float(c / scale**i) for i, c in enumerate(reversed(c_desc)))
+    poly = np.polynomial.Polynomial(c_asc)
+    pred = poly(qa)
+    r2, aic = _gof(ta, pred, degree + 1)
+    terms = " + ".join(f"{c:.4g} Q^{i}" if i else f"{c:.4g}" for i, c in enumerate(c_asc))
+    return ModelFit(f"poly{degree}", c_asc, f"T = {terms}", r2, aic, ta.size,
+                    lambda x, p=poly: p(np.asarray(x, float)))
+
+
+def fit_power_law(q: Sequence[float], t: Sequence[float]) -> ModelFit:
+    """``T = exp(a) Q^b``, fitted as ``log T = a + b log Q``.
+
+    The paper's States model: ``T = exp(1.19 log(Q) - 3.68)``.
+    coeffs = (a, b) with b the exponent.  Requires Q, T > 0.
+    """
+    qa, ta = _as_xy(q, t)
+    if (qa <= 0).any() or (ta <= 0).any():
+        raise ValueError("power-law fit requires strictly positive Q and T")
+    b, a = np.polyfit(np.log(qa), np.log(ta), 1)
+    pred = np.exp(a + b * np.log(qa))
+    r2, aic = _gof(ta, pred, 2)
+    return ModelFit("power", (float(a), float(b)),
+                    f"T = exp({b:.4g} log(Q) {a:+.4g})", r2, aic, ta.size,
+                    lambda x, a=a, b=b: np.exp(a + b * np.log(np.asarray(x, float))))
+
+
+def fit_exponential(q: Sequence[float], t: Sequence[float]) -> ModelFit:
+    """``T = exp(a + b Q)``, fitted as ``log T = a + b Q`` (sigma_States).
+
+    coeffs = (a, b).  Requires T > 0.
+    """
+    qa, ta = _as_xy(q, t)
+    if (ta <= 0).any():
+        raise ValueError("exponential fit requires strictly positive T")
+    b, a = np.polyfit(qa, np.log(ta), 1)
+    pred = np.exp(a + b * qa)
+    r2, aic = _gof(ta, pred, 2)
+    return ModelFit("exponential", (float(a), float(b)),
+                    f"T = exp({a:.4g} {b:+.4g} Q)", r2, aic, ta.size,
+                    lambda x, a=a, b=b: np.exp(a + b * np.asarray(x, float)))
+
+
+#: name -> fitting callable taking (Q, T); poly uses fixed representative degrees
+FIT_FAMILIES: dict[str, Callable[[Sequence[float], Sequence[float]], ModelFit]] = {
+    "constant": fit_constant,
+    "linear": fit_linear,
+    "poly2": lambda q, t: fit_polynomial(q, t, 2),
+    "poly3": lambda q, t: fit_polynomial(q, t, 3),
+    "poly4": lambda q, t: fit_polynomial(q, t, 4),
+    "power": fit_power_law,
+    "exponential": fit_exponential,
+}
+
+
+def fit_family(name: str, q: Sequence[float], t: Sequence[float]) -> ModelFit:
+    """Fit one named family from :data:`FIT_FAMILIES`."""
+    try:
+        fn = FIT_FAMILIES[name]
+    except KeyError:
+        raise KeyError(f"unknown fit family {name!r}; known: {sorted(FIT_FAMILIES)}") from None
+    return fn(q, t)
+
+
+def select_best(
+    q: Sequence[float],
+    t: Sequence[float],
+    families: Sequence[str] = ("linear", "poly2", "power", "exponential"),
+) -> ModelFit:
+    """Fit several families and return the lowest-AIC one.
+
+    Families that fail on this data (e.g. power law with nonpositive
+    values) are skipped; at least one family must succeed.
+    """
+    fits: list[ModelFit] = []
+    errors: list[str] = []
+    for fam in families:
+        try:
+            fits.append(fit_family(fam, q, t))
+        except (ValueError, KeyError) as exc:
+            errors.append(f"{fam}: {exc}")
+    if not fits:
+        raise ValueError("no fit family succeeded: " + "; ".join(errors))
+    return min(fits, key=lambda f: f.aic)

@@ -1,0 +1,133 @@
+"""Cache-parameterized performance models (paper Section 6).
+
+"The models derived here are valid only on a similar cluster.  Any
+significant change, such as halving of the cache size, will have a large
+effect on the coefficients in the models (though the functional form is
+expected to remain unchanged).  Ideally, the coefficients should be
+parameterized by processor speed and a cache model.  We will address this
+in future work, where the cache information collected during these tests
+will be employed."
+
+This module implements that future work.  A :class:`CacheScaledModel`
+carries the calibration context (cache capacity, measured miss penalty)
+and retargets predictions to a different cache by an analytic correction:
+
+    T'(Q) = T(Q) * (1 + penalty * (m'(Q) - m(Q)))
+
+where m(Q)/m'(Q) are the miss ratios of the calibration/target caches for
+the component's dominant access pattern (from
+:class:`repro.tau.hardware.CacheModel`), and ``penalty`` is the relative
+slowdown per unit miss-ratio increase, fitted from the hardware counters
+TAU collected during calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.performance import PerformanceModel
+from repro.tau.hardware import AccessPattern, CacheModel
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class CacheScaledModel:
+    """A performance model retargetable across cache configurations.
+
+    Parameters
+    ----------
+    base:
+        The model fitted on the calibration host.
+    calibration_cache:
+        Cache model describing the calibration host's hierarchy.
+    pattern / stride_elements / passes:
+        The component's dominant access pattern (what its kernels report
+        through the PAPI-analog counters).
+    miss_penalty:
+        Relative execution-time increase per unit increase in miss ratio
+        (dimensionless; ~0 for compute-bound kernels, >1 for memory-bound).
+    """
+
+    base: PerformanceModel
+    calibration_cache: CacheModel
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    stride_elements: int = 1
+    passes: int = 2
+    miss_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("miss_penalty", self.miss_penalty)
+
+    def _miss_ratio(self, cache: CacheModel, q: np.ndarray) -> np.ndarray:
+        return np.asarray([
+            cache.miss_ratio(
+                int(x), pattern=self.pattern,
+                stride_elements=self.stride_elements, passes=self.passes,
+            )
+            for x in np.atleast_1d(q)
+        ])
+
+    def scale_factor(self, target_cache: CacheModel, q) -> np.ndarray | float:
+        """Multiplicative retargeting factor at workload ``q``.
+
+        > 1 when the target cache misses more than the calibration cache
+        (e.g. halved capacity), < 1 when it misses less.
+        """
+        qa = np.asarray(q, dtype=float)
+        m_cal = self._miss_ratio(self.calibration_cache, qa)
+        m_tgt = self._miss_ratio(target_cache, qa)
+        factor = 1.0 + self.miss_penalty * (m_tgt - m_cal)
+        factor = np.maximum(factor, 0.0)
+        return float(factor[0]) if qa.ndim == 0 else factor
+
+    def predict_mean(self, q, target_cache: CacheModel | None = None):
+        """Predicted mean time, optionally retargeted to another cache."""
+        base = self.base.predict_mean(q)
+        if target_cache is None:
+            return base
+        return base * self.scale_factor(target_cache, q)
+
+    def predict_std(self, q, target_cache: CacheModel | None = None):
+        """Predicted sigma; cache variability scales with the same factor."""
+        base = self.base.predict_std(q)
+        if target_cache is None:
+            return base
+        return base * self.scale_factor(target_cache, q)
+
+
+def fit_miss_penalty(
+    q: np.ndarray,
+    t_sequential: np.ndarray,
+    t_strided: np.ndarray,
+    cache: CacheModel,
+    stride_elements: int,
+    passes: int = 2,
+) -> float:
+    """Estimate the miss penalty from dual-mode measurements.
+
+    Uses the paper's own data layout: the same component measured in
+    sequential and strided modes.  For each Q the observed slowdown
+    ``t_strided/t_sequential - 1`` is regressed (through the origin)
+    against the modeled miss-ratio difference between the two patterns.
+    Returns 0 when the cache model predicts no difference.
+    """
+    qa = np.asarray(q, dtype=float)
+    ts = np.asarray(t_sequential, dtype=float)
+    ty = np.asarray(t_strided, dtype=float)
+    if not (qa.shape == ts.shape == ty.shape):
+        raise ValueError("q, t_sequential, t_strided must have equal shapes")
+    if np.any(ts <= 0):
+        raise ValueError("sequential times must be positive")
+    dm = np.array([
+        cache.miss_ratio(int(x), pattern=AccessPattern.STRIDED,
+                         stride_elements=stride_elements, passes=passes)
+        - cache.miss_ratio(int(x), pattern=AccessPattern.SEQUENTIAL, passes=passes)
+        for x in qa
+    ])
+    slowdown = ty / ts - 1.0
+    denom = float(dm @ dm)
+    if denom == 0.0:
+        return 0.0
+    return max(0.0, float(dm @ slowdown) / denom)

@@ -1,0 +1,133 @@
+"""Per-component performance models.
+
+A :class:`PerformanceModel` predicts, for one component method, the mean
+execution time and its standard deviation as functions of the workload
+parameter Q (the input array size in the paper's case study).  Section 5's
+procedure is followed exactly: invocations are *binned by Q*, the per-bin
+mean and standard deviation are computed (averaging over the two — sequential
+and strided — modes of operation, which is what produces the large sigma), and
+a functional form is regressed to each.
+
+The model also records the measurement context (cache capacity, processor
+tag) because "the models derived here are valid only on a similar cluster"
+(Section 6); :meth:`PerformanceModel.context_matches` lets callers detect
+when a model is being applied outside its calibration context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.models.fits import ModelFit, select_best
+
+
+def bin_by_q(
+    q: Sequence[float], t: Sequence[float], min_count: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group samples by exact Q value.
+
+    Returns ``(q_unique, mean, std, count)`` with bins having fewer than
+    ``min_count`` samples dropped.  Std is the population value (ddof=0),
+    0 for singleton bins.
+    """
+    qa = np.asarray(q, dtype=float)
+    ta = np.asarray(t, dtype=float)
+    if qa.shape != ta.shape or qa.ndim != 1:
+        raise ValueError(f"Q/T shape mismatch: {qa.shape} vs {ta.shape}")
+    uq = np.unique(qa)
+    means, stds, counts, keep = [], [], [], []
+    for v in uq:
+        sel = ta[qa == v]
+        if sel.size < min_count:
+            continue
+        keep.append(v)
+        means.append(float(sel.mean()))
+        stds.append(float(sel.std()))
+        counts.append(sel.size)
+    return (np.asarray(keep), np.asarray(means), np.asarray(stds),
+            np.asarray(counts, dtype=int))
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Mean + standard-deviation predictors for one method.
+
+    ``quality`` carries the implementation's QoS figure (accuracy etc.) for
+    the QoS-aware optimizer of Section 5's discussion.
+    """
+
+    name: str
+    mean_fit: ModelFit
+    std_fit: ModelFit | None = None
+    quality: float = 1.0
+    context: Mapping[str, object] = field(default_factory=dict)
+
+    def predict_mean(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Predicted mean execution time at workload Q (microseconds)."""
+        return self.mean_fit.predict(q)
+
+    def predict_std(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Predicted standard deviation at Q (0 if no sigma model)."""
+        if self.std_fit is None:
+            arr = np.asarray(q, dtype=float)
+            return 0.0 if arr.ndim == 0 else np.zeros_like(arr)
+        pred = self.std_fit.predict(q)
+        # A fitted sigma can go negative outside the calibration range;
+        # clamp, a standard deviation cannot be negative.
+        return float(max(pred, 0.0)) if np.ndim(pred) == 0 else np.maximum(pred, 0.0)
+
+    def context_matches(self, other: Mapping[str, object]) -> bool:
+        """True when every shared context key agrees (Section 6 caveat)."""
+        return all(other.get(k) == v for k, v in self.context.items() if k in other)
+
+    def describe(self) -> str:
+        lines = [f"PerformanceModel[{self.name}]", f"  mean: {self.mean_fit}"]
+        if self.std_fit is not None:
+            lines.append(f"  std:  {self.std_fit}")
+        if self.context:
+            lines.append(f"  context: {dict(self.context)}")
+        return "\n".join(lines)
+
+
+def build_model(
+    name: str,
+    q: Sequence[float],
+    t: Sequence[float],
+    *,
+    mean_families: Sequence[str] = ("linear", "poly2", "power"),
+    std_families: Sequence[str] = ("linear", "poly2", "poly4", "exponential"),
+    quality: float = 1.0,
+    context: Mapping[str, object] | None = None,
+    min_bin_count: int = 2,
+) -> PerformanceModel:
+    """Construct a model from raw per-invocation measurements.
+
+    Follows the paper: bin by Q, fit the binned means with one family set
+    and the binned standard deviations with another (the sigma families
+    include quartic polynomials and exponentials per Eq. 2).
+    """
+    qb, mean, std, _count = bin_by_q(q, t, min_count=min_bin_count)
+    if qb.size < 2:
+        raise ValueError(
+            f"{name}: need >= 2 populated Q bins (min {min_bin_count} samples each), "
+            f"got {qb.size}"
+        )
+    mean_fit = select_best(qb, mean, mean_families)
+    std_fit = None
+    if np.any(std > 0):
+        positive = std > 0
+        if positive.sum() >= 2:
+            try:
+                std_fit = select_best(qb[positive], std[positive], std_families)
+            except ValueError:
+                std_fit = None
+    return PerformanceModel(
+        name=name,
+        mean_fit=mean_fit,
+        std_fit=std_fit,
+        quality=quality,
+        context=dict(context or {}),
+    )

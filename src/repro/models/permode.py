@@ -1,0 +1,124 @@
+"""Per-access-mode performance models.
+
+The paper averages the two operation modes into one model: "both the X-
+and Y-derivatives are calculated and the two modes of operation ... are
+invoked in an alternating fashion.  Thus, for performance modeling
+purposes, we consider an average.  However, we also include a standard
+deviation ... to track the variability introduced by the cache."
+
+Averaging is what *makes* the sigma large.  This module implements the
+refinement the paper's data begs for: one model per mode, composed into a
+:class:`ModalPerformanceModel` whose mode-aware predictions carry far less
+variance than the pooled model — quantified by :func:`variance_explained`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.models.performance import PerformanceModel, build_model
+from repro.perf.records import MethodRecord
+
+
+@dataclass(frozen=True)
+class ModalPerformanceModel:
+    """A per-mode family of models sharing one interface.
+
+    ``predict_mean(q, mode)`` dispatches to the mode's model;
+    ``predict_mean(q)`` (no mode) returns the average over modes, matching
+    the paper's pooled model semantics for callers that don't know the
+    mode mix.
+    """
+
+    name: str
+    per_mode: Mapping[str, PerformanceModel]
+    quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.per_mode:
+            raise ValueError("at least one mode model is required")
+
+    @property
+    def modes(self) -> list[str]:
+        return sorted(self.per_mode)
+
+    def model_for(self, mode: str) -> PerformanceModel:
+        try:
+            return self.per_mode[mode]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: no model for mode {mode!r}; have {self.modes}"
+            ) from None
+
+    def predict_mean(self, q, mode: str | None = None):
+        if mode is not None:
+            return self.model_for(mode).predict_mean(q)
+        preds = [m.predict_mean(q) for m in self.per_mode.values()]
+        return sum(preds) / len(preds)
+
+    def predict_std(self, q, mode: str | None = None):
+        if mode is not None:
+            return self.model_for(mode).predict_std(q)
+        stds = [np.asarray(m.predict_std(q), dtype=float)
+                for m in self.per_mode.values()]
+        out = np.sqrt(sum(s**2 for s in stds) / len(stds))
+        return float(out) if np.ndim(q) == 0 else out
+
+    def mode_ratio(self, q, a: str = "y", b: str = "x"):
+        """Predicted cost ratio between two modes (the Figure-5 curve)."""
+        return np.asarray(self.model_for(a).predict_mean(q)) / \
+            np.asarray(self.model_for(b).predict_mean(q))
+
+
+def build_modal_model(
+    record: MethodRecord,
+    param: str = "Q",
+    mode_param: str = "mode",
+    quality: float = 1.0,
+    **model_kwargs,
+) -> ModalPerformanceModel:
+    """Fit one model per observed mode from a Mastermind method record."""
+    modes = sorted({inv.params.get(mode_param) for inv in record.invocations})
+    if modes == [None]:
+        raise ValueError(
+            f"{record.timer_name}: no {mode_param!r} parameter recorded; "
+            "did the proxy's extractor capture it?"
+        )
+    per_mode: dict[str, PerformanceModel] = {}
+    for mode in modes:
+        invs = [inv for inv in record.invocations
+                if inv.params.get(mode_param) == mode]
+        q = np.asarray([inv.params[param] for inv in invs], dtype=float)
+        t = np.asarray([inv.wall_us for inv in invs])
+        per_mode[str(mode)] = build_model(
+            f"{record.timer_name}[{mode}]", q, t, quality=quality, **model_kwargs
+        )
+    return ModalPerformanceModel(name=record.timer_name, per_mode=per_mode,
+                                 quality=quality)
+
+
+def variance_explained(
+    record: MethodRecord,
+    modal: ModalPerformanceModel,
+    pooled: PerformanceModel,
+    param: str = "Q",
+    mode_param: str = "mode",
+) -> tuple[float, float]:
+    """Residual RMS of the pooled vs the mode-aware model on the record.
+
+    Returns ``(rms_pooled, rms_modal)``; a smaller modal RMS quantifies how
+    much of the paper's 'large standard deviation' was really mode mixing.
+    """
+    q = record.param_series(param)
+    t = record.wall_series()
+    modes = [inv.params.get(mode_param) for inv in record.invocations]
+    pooled_pred = np.atleast_1d(pooled.predict_mean(q))
+    modal_pred = np.asarray([
+        float(modal.predict_mean(qi, str(m))) for qi, m in zip(q, modes)
+    ])
+    rms_pooled = float(np.sqrt(np.mean((t - pooled_pred) ** 2)))
+    rms_modal = float(np.sqrt(np.mean((t - modal_pred) ** 2)))
+    return rms_pooled, rms_modal

@@ -1,0 +1,150 @@
+"""Performance-model persistence: the model repository.
+
+Paper Section 2 (the Imperial College scheme the Mastermind builds on):
+"The performance characteristics and a performance model for each
+component is constructed by the component developer and stored in the
+component repository."
+
+:class:`ModelRepository` is that store: performance models serialize to
+JSON (functional family + coefficients + fit quality + QoS + calibration
+context) and reconstruct into fully usable predictors, so models measured
+on one run can drive assembly optimization in another.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.models.fits import ModelFit
+from repro.models.performance import PerformanceModel
+
+__all__ = ["fit_to_dict", "fit_from_dict", "model_to_dict",
+           "model_from_dict", "ModelRepository"]
+
+
+def _predictor(family: str, coeffs: tuple[float, ...]):
+    """Rebuild a family's predictor from its coefficients."""
+    if family == "constant":
+        (a,) = coeffs
+        return lambda x: np.full_like(np.asarray(x, float), a)
+    if family == "linear":
+        a, b = coeffs
+        return lambda x: a + b * np.asarray(x, float)
+    if family.startswith("poly"):
+        poly = np.polynomial.Polynomial(coeffs)
+        return lambda x: poly(np.asarray(x, float))
+    if family == "power":
+        a, b = coeffs
+        return lambda x: np.exp(a + b * np.log(np.asarray(x, float)))
+    if family == "exponential":
+        a, b = coeffs
+        return lambda x: np.exp(a + b * np.asarray(x, float))
+    raise ValueError(f"unknown model family {family!r}")
+
+
+def fit_to_dict(fit: ModelFit) -> dict[str, Any]:
+    """JSON-safe representation of a ModelFit."""
+    return {
+        "family": fit.family,
+        "coeffs": list(fit.coeffs),
+        "formula": fit.formula,
+        "r2": fit.r2,
+        "aic": fit.aic if math.isfinite(fit.aic) else None,
+        "n": fit.n,
+    }
+
+
+def fit_from_dict(data: dict[str, Any]) -> ModelFit:
+    """Reconstruct a ModelFit (including its predictor) from JSON data."""
+    family = data["family"]
+    coeffs = tuple(float(c) for c in data["coeffs"])
+    aic = data.get("aic")
+    return ModelFit(
+        family=family,
+        coeffs=coeffs,
+        formula=data.get("formula", family),
+        r2=float(data.get("r2", float("nan"))),
+        aic=float(aic) if aic is not None else float("-inf"),
+        n=int(data.get("n", 0)),
+        _predict=_predictor(family, coeffs),
+    )
+
+
+def model_to_dict(model: PerformanceModel) -> dict[str, Any]:
+    """JSON-safe representation of a PerformanceModel."""
+    return {
+        "name": model.name,
+        "mean_fit": fit_to_dict(model.mean_fit),
+        "std_fit": fit_to_dict(model.std_fit) if model.std_fit is not None else None,
+        "quality": model.quality,
+        "context": dict(model.context),
+    }
+
+
+def model_from_dict(data: dict[str, Any]) -> PerformanceModel:
+    """Reconstruct a PerformanceModel from JSON data."""
+    std = data.get("std_fit")
+    return PerformanceModel(
+        name=data["name"],
+        mean_fit=fit_from_dict(data["mean_fit"]),
+        std_fit=fit_from_dict(std) if std is not None else None,
+        quality=float(data.get("quality", 1.0)),
+        context=dict(data.get("context", {})),
+    )
+
+
+class ModelRepository:
+    """Directory-backed store of performance models.
+
+    Models are keyed by (functionality, implementation name), the
+    organization the assembly optimizer consumes: ``candidates("flux")``
+    returns every stored flux implementation's model.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, functionality: str, impl_name: str) -> str:
+        safe = f"{functionality}__{impl_name}".replace(os.sep, "_")
+        return os.path.join(self.directory, f"{safe}.json")
+
+    def store(self, functionality: str, model: PerformanceModel) -> str:
+        """Persist a model under its implementation name; returns the path."""
+        path = self._path(functionality, model.name)
+        payload = {"functionality": functionality, "model": model_to_dict(model)}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        return path
+
+    def load(self, functionality: str, impl_name: str) -> PerformanceModel:
+        """Load one stored model (FileNotFoundError if absent)."""
+        with open(self._path(functionality, impl_name), encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return model_from_dict(payload["model"])
+
+    def candidates(self, functionality: str) -> list[PerformanceModel]:
+        """All stored models for a functionality (optimizer input)."""
+        out = []
+        prefix = f"{functionality}__"
+        for fname in sorted(os.listdir(self.directory)):
+            if not (fname.startswith(prefix) and fname.endswith(".json")):
+                continue
+            with open(os.path.join(self.directory, fname), encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("functionality") == functionality:
+                out.append(model_from_dict(payload["model"]))
+        return out
+
+    def functionalities(self) -> list[str]:
+        """Distinct functionality keys present in the repository."""
+        keys = set()
+        for fname in os.listdir(self.directory):
+            if fname.endswith(".json") and "__" in fname:
+                keys.add(fname.split("__", 1)[0])
+        return sorted(keys)

@@ -1,0 +1,45 @@
+"""Simulated MPI-1 subset (the paper's message-passing substrate).
+
+The paper ran its case study on three processors of a Xeon cluster with a
+real MPI library.  This package provides a faithful *functional* stand-in:
+
+* P ranks execute concurrently as threads inside one process
+  (:class:`ParallelRunner`), each holding a :class:`SimComm` communicator.
+* Point-to-point (``send``/``recv``/``isend``/``irecv`` + ``waitsome``,
+  ``waitall``, ``waitany``) and collective (``barrier``, ``bcast``,
+  ``reduce``, ``allreduce``, ``allgather``, ``alltoall``) operations move
+  real data between ranks.
+* A :class:`NetworkModel` (latency + bandwidth + stochastic load jitter)
+  charges each operation a *virtual* communication cost in microseconds,
+  accumulated per MPI routine in :class:`MPIAccounting` — exactly the
+  per-routine numbers TAU reports in the paper's Figure 3 and the
+  ghost-cell exchange timings of Figure 9.
+
+The API follows mpi4py naming (lowercase methods communicate picklable
+objects / NumPy arrays by value).
+"""
+
+from repro.mpi.network import NetworkModel
+from repro.mpi.accounting import MPIAccounting
+from repro.mpi.message import ANY_SOURCE, ANY_TAG, Status
+from repro.mpi.request import Request, waitall, waitany, waitsome
+from repro.mpi.world import SimWorld, SimMPIError
+from repro.mpi.comm import SimComm
+from repro.mpi.runner import ParallelRunner, RankFailure
+
+__all__ = [
+    "NetworkModel",
+    "MPIAccounting",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "Request",
+    "waitall",
+    "waitany",
+    "waitsome",
+    "SimWorld",
+    "SimMPIError",
+    "SimComm",
+    "ParallelRunner",
+    "RankFailure",
+]

@@ -1,0 +1,71 @@
+"""Per-routine accumulation of simulated MPI time.
+
+The paper's Mastermind derives a method's message-passing cost as "the
+summation of the times of all the MPI routines" between two queries of the
+TAU component.  :class:`MPIAccounting` is that ledger: every simulated MPI
+call records its modeled cost under its routine name (``MPI_Isend``,
+``MPI_Waitsome``, ...), and :meth:`total_us` gives the summation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class RoutineStats:
+    """Cumulative cost and call count for one MPI routine."""
+
+    total_us: float = 0.0
+    calls: int = 0
+
+
+class MPIAccounting:
+    """Thread-safe per-routine MPI time ledger for a single rank.
+
+    Each rank owns one instance (ranks are threads, but proxies/TAU on the
+    same rank may read while the comm writes, so a lock guards updates).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: dict[str, RoutineStats] = {}
+        self._listeners: list = []
+
+    def record(self, routine: str, cost_us: float) -> None:
+        """Charge ``cost_us`` to ``routine`` (one call)."""
+        if cost_us < 0:
+            raise ValueError(f"negative MPI cost {cost_us} for {routine}")
+        with self._lock:
+            st = self._stats.setdefault(routine, RoutineStats())
+            st.total_us += cost_us
+            st.calls += 1
+            listeners = list(self._listeners)
+        for fn in listeners:
+            fn(routine, cost_us)
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(routine, cost_us)`` called after each charge.
+
+        The TAU component subscribes here so MPI routines appear in its
+        profile (Figure 3's MPI_* rows).
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def total_us(self) -> float:
+        """Summation of the times of all MPI routines (paper's 'MPI time')."""
+        with self._lock:
+            return sum(st.total_us for st in self._stats.values())
+
+    def routine_totals(self) -> dict[str, RoutineStats]:
+        """Snapshot copy of per-routine stats."""
+        with self._lock:
+            return {k: RoutineStats(v.total_us, v.calls) for k, v in self._stats.items()}
+
+    def calls(self, routine: str) -> int:
+        """Number of recorded calls to ``routine`` (0 if never called)."""
+        with self._lock:
+            st = self._stats.get(routine)
+            return st.calls if st else 0

@@ -1,0 +1,266 @@
+"""The simulated communicator.
+
+:class:`SimComm` exposes an mpi4py-flavoured API (lowercase object methods)
+over the thread-backed :class:`~repro.mpi.world.SimWorld`.  Payloads are
+copied at send time (MPI value semantics), transferred for real between
+rank threads, and every operation charges its modeled network cost to the
+rank's :class:`~repro.mpi.accounting.MPIAccounting` ledger under the MPI
+routine name — those charges are the per-routine rows of the paper's
+Figure 3 profile and the ghost-cell timings of Figure 9.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope, Status
+from repro.mpi.network import payload_nbytes
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.world import WORLD_CONTEXT, SimMPIError, SimWorld
+
+# Reduction operators accepted by reduce/allreduce/scan, by name.
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+}
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Value-semantics copy of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if obj is None or isinstance(obj, (int, float, complex, str, bytes, bool)):
+        return obj
+    return copy.deepcopy(obj)
+
+
+class SimComm:
+    """A communicator bound to one rank of a :class:`SimWorld`.
+
+    Each rank thread constructs (or is handed) its own ``SimComm``; the
+    instance is not shared across rank threads.  ``dup()`` derives a child
+    communicator with an isolated message context, as AMRMesh does in the
+    paper (``MPI_Comm_dup`` appears in Figure 3).
+    """
+
+    def __init__(self, world: SimWorld, rank: int, context: str = WORLD_CONTEXT) -> None:
+        if not (0 <= rank < world.nranks):
+            raise ValueError(f"rank {rank} out of range for nranks={world.nranks}")
+        self.world = world
+        self.rank = int(rank)
+        self.context = context
+        self._coll_seq = 0
+        self._dup_count = 0
+
+    # ------------------------------------------------------------ basics
+    @property
+    def size(self) -> int:
+        return self.world.nranks
+
+    def Get_rank(self) -> int:  # mpi4py spelling
+        return self.rank
+
+    def Get_size(self) -> int:  # mpi4py spelling
+        return self.size
+
+    @property
+    def accounting(self):
+        """This rank's MPI time ledger."""
+        return self.world.accounting[self.rank]
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This rank's jitter RNG stream."""
+        return self.world.rngs[self.rank]
+
+    def charge(self, routine: str, cost_us: float) -> None:
+        """Record modeled time for ``routine`` on this rank."""
+        self.accounting.record(routine, cost_us)
+
+    # ---------------------------------------------------- point-to-point
+    def _post_send(self, obj: Any, dest: int, tag: int) -> int:
+        net = self.world.network
+        nbytes = payload_nbytes(obj)
+        env = Envelope(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            payload=_copy_payload(obj),
+            nbytes=nbytes,
+            cost_us=net.p2p_cost(nbytes, self.rng),
+        )
+        self.world.deliver(self.context, env)
+        return nbytes
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send: copy, deliver, charge injection cost."""
+        self._post_send(obj, dest, tag)
+        self.charge("MPI_Send", self.world.network.min_cost_us)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; complete immediately (payload copied)."""
+        self._post_send(obj, dest, tag)
+        self.charge("MPI_Isend", self.world.network.min_cost_us)
+        return SendRequest(self)
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Status | None = None
+    ) -> Any:
+        """Blocking receive; charged the message's modeled transfer cost."""
+        env = self.world.match(self.context, self.rank, source, tag)
+        self.charge("MPI_Recv", env.cost_us)
+        if status is not None:
+            status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
+        return env.payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Post a nonblocking receive (cost charged at completion)."""
+        self.charge("MPI_Irecv", self.world.network.min_cost_us)
+        return RecvRequest(self, source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+               status: Status | None = None) -> bool:
+        """Non-blocking probe: is a matching message waiting?
+
+        Does not consume the message; fills ``status`` when one matches.
+        """
+        env = self.world.try_match(self.context, self.rank, source, tag)
+        if env is None:
+            return False
+        # Probing must not dequeue: put it back at the front of matching
+        # order by re-delivering (seq ordering keeps FIFO per source/tag
+        # because try_match popped the earliest match).
+        self.world.deliver(self.context, env)
+        self.charge("MPI_Iprobe", self.world.network.min_cost_us)
+        if status is not None:
+            status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
+        return True
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              status: Status | None = None) -> None:
+        """Blocking probe: wait until a matching message is available."""
+        env = self.world.match(self.context, self.rank, source, tag)
+        self.world.deliver(self.context, env)
+        self.charge("MPI_Probe", self.world.network.min_cost_us)
+        if status is not None:
+            status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
+
+    def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
+                 source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (deadlock-free under the buffered model)."""
+        self._post_send(obj, dest, sendtag)
+        env = self.world.match(self.context, self.rank, source, recvtag)
+        self.charge("MPI_Sendrecv", env.cost_us + self.world.network.min_cost_us)
+        return env.payload
+
+    # ------------------------------------------------------- collectives
+    def _exchange(self, value: Any) -> list[Any]:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return self.world.exchange(self.context, seq, self.rank, value)
+
+    def _charge_collective(self, routine: str, nbytes: int) -> None:
+        cost = self.world.network.collective_cost(nbytes, self.size, self.rng)
+        self.charge(routine, cost)
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (charged a log2(P) latency tree)."""
+        self._exchange(None)
+        self._charge_collective("MPI_Barrier", 0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_root(root)
+        vals = self._exchange(_copy_payload(obj) if self.rank == root else None)
+        result = vals[root]
+        self._charge_collective("MPI_Bcast", payload_nbytes(result))
+        return _copy_payload(result) if self.rank != root else obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at ``root`` (None elsewhere)."""
+        self._check_root(root)
+        vals = self._exchange(_copy_payload(obj))
+        self._charge_collective("MPI_Gather", payload_nbytes(obj))
+        return vals if self.rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one value per rank, everywhere."""
+        vals = self._exchange(_copy_payload(obj))
+        self._charge_collective("MPI_Allgather", payload_nbytes(obj))
+        return vals
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter a length-P sequence from ``root``; each rank gets one item."""
+        self._check_root(root)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(f"scatter at root needs a length-{self.size} sequence")
+            vals = self._exchange([_copy_payload(o) for o in objs])
+        else:
+            vals = self._exchange(None)
+        items = vals[root]
+        self._charge_collective("MPI_Scatter", payload_nbytes(items[self.rank]))
+        return items[self.rank]
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Each rank sends item j to rank j; returns the column addressed to it."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs a length-{self.size} sequence")
+        vals = self._exchange([_copy_payload(o) for o in objs])
+        self._charge_collective("MPI_Alltoall", sum(payload_nbytes(o) for o in objs))
+        return [vals[src][self.rank] for src in range(self.size)]
+
+    def _reduce_values(self, vals: list[Any], op: str | Callable[[Any, Any], Any]) -> Any:
+        fn = _OPS[op] if isinstance(op, str) else op
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = fn(acc, v)
+        return acc
+
+    def reduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum",
+               root: int = 0) -> Any | None:
+        """Reduce to ``root`` (None elsewhere)."""
+        self._check_root(root)
+        vals = self._exchange(_copy_payload(obj))
+        self._charge_collective("MPI_Reduce", payload_nbytes(obj))
+        return self._reduce_values(vals, op) if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+        """Reduce across all ranks; every rank returns the result."""
+        vals = self._exchange(_copy_payload(obj))
+        self._charge_collective("MPI_Allreduce", payload_nbytes(obj))
+        return self._reduce_values(vals, op)
+
+    def scan(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+        """Inclusive prefix reduction over ranks 0..self.rank."""
+        vals = self._exchange(_copy_payload(obj))
+        self._charge_collective("MPI_Scan", payload_nbytes(obj))
+        return self._reduce_values(vals[: self.rank + 1], op)
+
+    # -------------------------------------------------------------- misc
+    def dup(self) -> "SimComm":
+        """Duplicate the communicator into a fresh message context.
+
+        Collective: all ranks must call it in matching order.
+        """
+        self._dup_count += 1
+        child_context = f"{self.context}/dup{self._dup_count}"
+        # Synchronize so no rank races ahead and sends into a context the
+        # peer hasn't created; also verifies all ranks derived the same name.
+        names = self._exchange(child_context)
+        if any(n != child_context for n in names):
+            raise SimMPIError(f"inconsistent dup order across ranks: {names}")
+        self._charge_collective("MPI_Comm_dup", 0)
+        return SimComm(self.world, self.rank, child_context)
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.size):
+            raise ValueError(f"root {root} out of range for size {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimComm(rank={self.rank}/{self.size}, context={self.context!r})"

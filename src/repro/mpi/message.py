@@ -1,0 +1,56 @@
+"""Message envelopes, wildcards and receive status for the MPI simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+ANY_SOURCE: int = -1
+ANY_TAG: int = -1
+
+_seqno = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """An in-flight message.
+
+    ``cost_us`` is the network-model transfer time sampled at send time;
+    the receiver charges it when the message is matched (a blocking receive
+    pays for the transfer, as in a real rendezvous).  ``seq`` preserves
+    per-(source, tag) FIFO matching order, the MPI non-overtaking rule.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    cost_us: float
+    seq: int = field(default_factory=lambda: next(_seqno))
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this envelope match a receive posted for (source, tag)?"""
+        return (source in (ANY_SOURCE, self.source)) and (tag in (ANY_TAG, self.tag))
+
+
+@dataclass
+class Status:
+    """Receive status (mpi4py-style).
+
+    Filled in by ``recv``/``Request.wait`` when the caller passes one.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.nbytes

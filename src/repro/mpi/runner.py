@@ -1,0 +1,102 @@
+"""SCMD job launcher: run the same function on P rank threads.
+
+This is the simulator's ``mpiexec -n P``.  The CCA layer builds on it to
+realize the paper's SCMD (Single Component Multiple Data) model: identical
+frameworks containing the same components are instantiated on all P
+processors, with MPI between the cohort instances.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable
+
+from repro.mpi.comm import SimComm
+from repro.mpi.network import NetworkModel
+from repro.mpi.world import SimWorld
+from repro.util.validation import check_positive
+
+
+class RankFailure(RuntimeError):
+    """Raised by :meth:`ParallelRunner.run` when any rank raised.
+
+    Carries per-rank tracebacks; the message includes the first failure so
+    pytest output points straight at the root cause.
+    """
+
+    def __init__(self, failures: dict[int, str]) -> None:
+        self.failures = failures
+        first_rank = min(failures)
+        super().__init__(
+            f"{len(failures)} rank(s) failed; first failure on rank {first_rank}:\n"
+            + failures[first_rank]
+        )
+
+
+class ParallelRunner:
+    """Run ``fn(comm)`` concurrently on ``nranks`` simulated ranks.
+
+    Example
+    -------
+    >>> runner = ParallelRunner(3)
+    >>> runner.run(lambda comm: comm.allreduce(comm.rank))
+    [3, 3, 3]
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        network: NetworkModel | None = None,
+        seed: int | None = 0,
+        timeout_s: float = 120.0,
+    ) -> None:
+        check_positive("nranks", nranks)
+        self.nranks = int(nranks)
+        self.network = network or NetworkModel()
+        self.seed = seed
+        self.timeout_s = float(timeout_s)
+        #: the world of the most recent ``run`` (exposes per-rank accounting)
+        self.last_world: SimWorld | None = None
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank; return results by rank.
+
+        If any rank raises, the world is aborted (waking blocked peers) and
+        a :class:`RankFailure` is raised after all threads join.
+        """
+        world = SimWorld(self.nranks, network=self.network, seed=self.seed,
+                         timeout_s=self.timeout_s)
+        self.last_world = world
+        results: list[Any] = [None] * self.nranks
+        failures: dict[int, str] = {}
+        lock = threading.Lock()
+
+        def target(rank: int) -> None:
+            comm = SimComm(world, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException:
+                with lock:
+                    failures[rank] = traceback.format_exc()
+                world.abort(f"rank {rank} raised")
+
+        threads = [
+            threading.Thread(target=target, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout_s + 10.0)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            world.abort("join timeout")
+            raise RankFailure({-1: f"rank threads did not terminate: {alive}"})
+        if failures:
+            # Drop secondary abort-induced failures when a primary cause exists.
+            primary = {
+                r: tb for r, tb in failures.items() if "simulated MPI job aborted" not in tb
+            }
+            raise RankFailure(primary or failures)
+        return results

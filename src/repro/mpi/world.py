@@ -1,0 +1,195 @@
+"""Shared state backing one simulated MPI job.
+
+A :class:`SimWorld` holds, for a job of P ranks:
+
+* per-rank mailboxes (point-to-point message queues) with condition
+  variables for blocking receives,
+* a slot table implementing the collective exchange primitive on which all
+  collectives (barrier/bcast/reduce/allgather/...) are built,
+* per-rank :class:`~repro.mpi.accounting.MPIAccounting` ledgers and jitter
+  RNG streams,
+* an abort flag so that when one rank fails, ranks blocked in communication
+  wake up and raise instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.mpi.accounting import MPIAccounting
+from repro.mpi.message import Envelope
+from repro.mpi.network import NetworkModel
+from repro.util.rng import spawn_rngs
+from repro.util.validation import check_positive
+
+WORLD_CONTEXT = "world"
+
+
+class SimMPIError(RuntimeError):
+    """Raised on simulator-level failures (deadlock timeout, abort)."""
+
+
+class _CollectiveSlot:
+    """Rendezvous slot for one collective call instance."""
+
+    __slots__ = ("values", "deposited", "readers", "ready")
+
+    def __init__(self) -> None:
+        self.values: dict[int, Any] = {}
+        self.deposited = 0
+        self.readers = 0
+        self.ready = False
+
+
+class SimWorld:
+    """All cross-rank shared state for one simulated job."""
+
+    def __init__(
+        self,
+        nranks: int,
+        network: NetworkModel | None = None,
+        seed: int | None = 0,
+        timeout_s: float = 120.0,
+    ) -> None:
+        check_positive("nranks", nranks)
+        check_positive("timeout_s", timeout_s)
+        self.nranks = int(nranks)
+        self.network = network or NetworkModel()
+        self.timeout_s = float(timeout_s)
+        self.rngs = spawn_rngs(seed, self.nranks)
+        self.accounting = [MPIAccounting() for _ in range(self.nranks)]
+
+        # Point-to-point: mailbox per (context, dest rank); one condition
+        # per dest rank shared by all contexts.
+        self._mail_conds = [threading.Condition() for _ in range(self.nranks)]
+        self._mailboxes: dict[tuple[str, int], list[Envelope]] = {}
+
+        # Collectives: one lock/condition for the whole slot table (P is
+        # small; contention is negligible).
+        self._coll_cond = threading.Condition()
+        self._coll_slots: dict[tuple[str, int], _CollectiveSlot] = {}
+
+        self._aborted = False
+        self._abort_reason: str | None = None
+
+    # ------------------------------------------------------------- abort
+    def abort(self, reason: str) -> None:
+        """Mark the job failed and wake every blocked rank."""
+        self._aborted = True
+        self._abort_reason = reason
+        for cond in self._mail_conds:
+            with cond:
+                cond.notify_all()
+        with self._coll_cond:
+            self._coll_cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._aborted:
+            raise SimMPIError(f"simulated MPI job aborted: {self._abort_reason}")
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    # ----------------------------------------------------- point-to-point
+    def deliver(self, context: str, env: Envelope) -> None:
+        """Place an envelope in the destination's mailbox and wake it."""
+        if not (0 <= env.dest < self.nranks):
+            raise ValueError(f"invalid destination rank {env.dest} (nranks={self.nranks})")
+        cond = self._mail_conds[env.dest]
+        with cond:
+            self._mailboxes.setdefault((context, env.dest), []).append(env)
+            cond.notify_all()
+
+    def try_match(self, context: str, rank: int, source: int, tag: int) -> Envelope | None:
+        """Non-blocking: pop the first mailbox envelope matching (source, tag)."""
+        cond = self._mail_conds[rank]
+        with cond:
+            return self._pop_locked(context, rank, source, tag)
+
+    def match(self, context: str, rank: int, source: int, tag: int) -> Envelope:
+        """Blocking receive match with deadlock timeout."""
+        cond = self._mail_conds[rank]
+        deadline = time.monotonic() + self.timeout_s
+        with cond:
+            while True:
+                self._check_abort()
+                env = self._pop_locked(context, rank, source, tag)
+                if env is not None:
+                    return env
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimMPIError(
+                        f"rank {rank} timed out after {self.timeout_s}s waiting for "
+                        f"message (source={source}, tag={tag}, context={context!r}) — "
+                        "likely deadlock"
+                    )
+                cond.wait(min(remaining, 0.5))
+
+    def _pop_locked(self, context: str, rank: int, source: int, tag: int) -> Envelope | None:
+        box = self._mailboxes.get((context, rank))
+        if not box:
+            return None
+        # Match by lowest send sequence number, not list position: probes
+        # may re-deliver envelopes out of order, and MPI's non-overtaking
+        # rule is defined on send order.
+        best_i = -1
+        for i, env in enumerate(box):
+            if env.matches(source, tag) and (best_i < 0 or env.seq < box[best_i].seq):
+                best_i = i
+        return box.pop(best_i) if best_i >= 0 else None
+
+    def mailbox_cond(self, rank: int) -> threading.Condition:
+        """Condition variable guarding ``rank``'s mailbox (for waitsome)."""
+        return self._mail_conds[rank]
+
+    def pending_count(self, context: str, rank: int) -> int:
+        """Number of undelivered envelopes waiting for ``rank`` (testing aid)."""
+        cond = self._mail_conds[rank]
+        with cond:
+            return len(self._mailboxes.get((context, rank), []))
+
+    # ---------------------------------------------------------- collective
+    def exchange(self, context: str, seq: int, rank: int, value: Any) -> list[Any]:
+        """All-to-all rendezvous: every rank deposits, all read all values.
+
+        ``seq`` is the per-communicator collective call counter; because MPI
+        requires all ranks to issue collectives in the same order, equal
+        ``(context, seq)`` identifies the same logical collective on every
+        rank.  Returns values ordered by rank.  The last reader frees the
+        slot so the table stays bounded.
+        """
+        key = (context, seq)
+        deadline = time.monotonic() + self.timeout_s
+        with self._coll_cond:
+            slot = self._coll_slots.get(key)
+            if slot is None:
+                slot = _CollectiveSlot()
+                self._coll_slots[key] = slot
+            if rank in slot.values:
+                raise SimMPIError(
+                    f"rank {rank} deposited twice into collective {key}; "
+                    "collectives must be called in the same order on all ranks"
+                )
+            slot.values[rank] = value
+            slot.deposited += 1
+            if slot.deposited == self.nranks:
+                slot.ready = True
+                self._coll_cond.notify_all()
+            while not slot.ready:
+                self._check_abort()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimMPIError(
+                        f"rank {rank} timed out in collective {key}: only "
+                        f"{slot.deposited}/{self.nranks} ranks arrived — likely "
+                        "mismatched collective calls"
+                    )
+                self._coll_cond.wait(min(remaining, 0.5))
+            result = [slot.values[r] for r in range(self.nranks)]
+            slot.readers += 1
+            if slot.readers == self.nranks:
+                del self._coll_slots[key]
+            return result

@@ -1,0 +1,33 @@
+"""MonitorPort: the proxy -> Mastermind notification interface.
+
+Paper Section 4.2: "the proxy also uses a MonitorPort to make measurements.
+If the method is one that the user wants to measure, monitoring is started
+before the method invocation is forwarded and stopped afterward.  When the
+monitoring is started, parameters that influence the method's performance
+are sent to the Mastermind."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.cca.ports import Port
+
+
+class MonitorPort(Port):
+    """Begin/end bracketing for one monitored method invocation."""
+
+    def begin_invocation(
+        self, label: str, method: str, params: Mapping[str, Any]
+    ) -> int:
+        """Start monitoring; returns a token to pass to ``end_invocation``.
+
+        ``label`` identifies the monitored component instance (the proxy's
+        name for it), ``method`` the invoked port method, and ``params`` the
+        performance-relevant inputs the proxy extracted (e.g. array size).
+        """
+        raise NotImplementedError
+
+    def end_invocation(self, token: int) -> None:
+        """Stop monitoring for the invocation identified by ``token``."""
+        raise NotImplementedError

@@ -1,0 +1,156 @@
+"""Online performance monitoring and dynamic re-optimization.
+
+Paper Section 6: "This facilitates dynamic performance optimization which
+uses online performance monitoring to determine when performance
+expectations are not being met and new model-guided decisions of component
+use need to take place.  This is currently underway."
+
+:class:`OnlineMonitor` realizes it: it watches a monitored routine's
+recent invocations against that routine's expected
+:class:`~repro.models.performance.PerformanceModel`; when the fraction of
+out-of-band invocations in a sliding window exceeds a threshold, it
+consults the candidate models and — if a better implementation exists —
+swaps the component in place through the framework's AbstractFramework
+port (Figure 10's "dynamic replacement of sub-optimal components").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.framework import Framework
+from repro.models.composite import Workload
+from repro.models.performance import PerformanceModel
+from repro.perf.mastermind import Mastermind
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """What a monitored routine is expected to cost."""
+
+    label: str
+    method: str
+    model: PerformanceModel
+    param: str = "Q"
+    n_sigma: float = 3.0
+    floor_us: float = 50.0
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one monitoring check."""
+
+    label: str
+    method: str
+    window: int
+    violation_fraction: float
+    drifting: bool
+    replaced_with: str | None = None
+
+    def __str__(self) -> str:
+        state = "DRIFT" if self.drifting else "ok"
+        extra = f" -> replaced with {self.replaced_with}" if self.replaced_with else ""
+        return (
+            f"[{state}] {self.label}::{self.method}(): "
+            f"{self.violation_fraction:.0%} of last {self.window} "
+            f"invocation(s) out of band{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """An alternative implementation for a monitored slot."""
+
+    component_class: type[Component]
+    model: PerformanceModel
+
+
+class OnlineMonitor:
+    """Sliding-window drift detector with model-guided replacement."""
+
+    def __init__(
+        self,
+        mastermind: Mastermind,
+        window: int = 20,
+        drift_threshold: float = 0.5,
+    ) -> None:
+        check_positive("window", window)
+        check_in_range("drift_threshold", drift_threshold, 0.0, 1.0)
+        self.mastermind = mastermind
+        self.window = int(window)
+        self.drift_threshold = float(drift_threshold)
+
+    # ------------------------------------------------------------------ #
+    def violation_fraction(self, exp: Expectation) -> tuple[float, int]:
+        """Fraction of the last ``window`` invocations outside the band."""
+        rec = self.mastermind.record(exp.label, exp.method)
+        invs = rec.invocations[-self.window:]
+        if not invs:
+            return (0.0, 0)
+        q = np.asarray([inv.params[exp.param] for inv in invs], dtype=float)
+        t = np.asarray([inv.wall_us for inv in invs])
+        mean = np.atleast_1d(exp.model.predict_mean(q))
+        std = np.atleast_1d(exp.model.predict_std(q))
+        band = np.maximum(exp.n_sigma * std, exp.floor_us)
+        violations = np.abs(t - mean) > band
+        return (float(violations.mean()), len(invs))
+
+    def check(self, exp: Expectation) -> DriftReport:
+        """Evaluate one expectation (no replacement)."""
+        frac, n = self.violation_fraction(exp)
+        return DriftReport(
+            label=exp.label,
+            method=exp.method,
+            window=n,
+            violation_fraction=frac,
+            drifting=n > 0 and frac >= self.drift_threshold,
+        )
+
+    # ------------------------------------------------------------------ #
+    def recommend(
+        self,
+        exp: Expectation,
+        candidates: Sequence[Candidate],
+    ) -> Candidate | None:
+        """Pick the candidate whose model predicts the lowest cost on the
+        routine's *observed* workload; None if no candidate beats the
+        currently *measured* behaviour.
+
+        The baseline is the measured total wall time, not the (possibly
+        stale) expectation model — when drift fired, the expectation no
+        longer describes the running implementation.
+        """
+        rec = self.mastermind.record(exp.label, exp.method)
+        workload = Workload.from_samples(rec.param_series(exp.param))
+        measured_cost = rec.total_wall_us()
+        best: Candidate | None = None
+        best_cost = measured_cost
+        for cand in candidates:
+            cost = workload.expected_cost(cand.model)
+            if cost < best_cost:
+                best, best_cost = cand, cost
+        return best
+
+    def check_and_reoptimize(
+        self,
+        exp: Expectation,
+        framework: Framework,
+        instance_name: str,
+        candidates: Sequence[Candidate],
+    ) -> DriftReport:
+        """Full loop: detect drift and, if drifting, swap in the best
+        candidate through the framework (preserving all wiring)."""
+        report = self.check(exp)
+        if not report.drifting:
+            return report
+        choice = self.recommend(exp, candidates)
+        if choice is None:
+            return report
+        framework.replace_component(instance_name, choice.component_class)
+        report.replaced_with = choice.component_class.__name__
+        return report

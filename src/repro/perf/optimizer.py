@@ -1,0 +1,167 @@
+"""Component-assembly optimization (paper Sections 1, 2 and 6).
+
+"With n components, each having C_i implementations, there is a total of
+prod(C_i) implementations to choose from. ... The implementation with the
+lowest execution time or lowest cost is then selected."
+
+:class:`AssemblyOptimizer` evaluates a :class:`CompositeModel` under every
+combination of candidate implementation models (exhaustive, with a search-
+space guard) or slot-by-slot (greedy — exact here because the composite
+cost is additive across slots, but kept separate to mirror the scalable
+strategy a non-additive cost would need).
+
+Quality of Service (paper Section 5's GodunovFlux-vs-EFMFlux discussion:
+"the performance of a component implementation would be viewed with respect
+to the size of the problem as well as the quality of the solution produced
+by it") enters two ways:
+
+* a hard constraint: assemblies whose minimum implementation quality falls
+  below ``min_quality`` are rejected;
+* a soft penalty: effective score = cost * (1 + qos_weight * (1 - quality)),
+  so ``qos_weight=0`` reproduces pure lowest-execution-time selection and
+  larger weights favour accurate implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.models.composite import CompositeModel, SlotCost
+from repro.models.performance import PerformanceModel
+
+
+@dataclass(frozen=True)
+class RankedAssembly:
+    """One evaluated assembly."""
+
+    binding: Mapping[str, PerformanceModel]
+    cost_us: float
+    quality: float
+    score: float
+
+    def binding_names(self) -> dict[str, str]:
+        return {slot: m.name for slot, m in self.binding.items()}
+
+
+@dataclass
+class OptimizationResult:
+    """Winner plus the full ranking (ascending score)."""
+
+    best: RankedAssembly
+    ranked: list[RankedAssembly] = field(default_factory=list)
+    breakdown: list[SlotCost] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = ["assembly optimization:"]
+        for ra in self.ranked:
+            mark = "->" if ra is self.best else "  "
+            lines.append(
+                f"{mark} {ra.binding_names()} cost={ra.cost_us:.1f}us "
+                f"quality={ra.quality:.3g} score={ra.score:.1f}"
+            )
+        return "\n".join(lines)
+
+
+class AssemblyOptimizer:
+    """Search over implementation bindings of a composite model."""
+
+    #: refuse exhaustive searches beyond this many assemblies
+    MAX_EXHAUSTIVE = 100_000
+
+    def __init__(
+        self,
+        composite: CompositeModel,
+        candidates: Mapping[str, Sequence[PerformanceModel]],
+    ) -> None:
+        free = composite.free_slots()
+        missing = set(free) - set(candidates)
+        if missing:
+            raise ValueError(f"no candidates supplied for slot(s) {sorted(missing)}")
+        empty = [s for s in free if not candidates[s]]
+        if empty:
+            raise ValueError(f"empty candidate list for slot(s) {empty}")
+        self.composite = composite
+        self.slots = sorted(free)
+        self.candidates = {s: list(candidates[s]) for s in self.slots}
+
+    # ------------------------------------------------------------------ #
+    def search_space_size(self) -> int:
+        n = 1
+        for s in self.slots:
+            n *= len(self.candidates[s])
+        return n
+
+    def _evaluate(self, binding: dict[str, PerformanceModel],
+                  qos_weight: float) -> RankedAssembly:
+        cost, _ = self.composite.evaluate(binding)
+        quality = min((m.quality for m in binding.values()), default=1.0)
+        score = cost * (1.0 + qos_weight * (1.0 - quality))
+        return RankedAssembly(binding=dict(binding), cost_us=cost,
+                              quality=quality, score=score)
+
+    def optimize(
+        self,
+        qos_weight: float = 0.0,
+        min_quality: float | None = None,
+    ) -> OptimizationResult:
+        """Exhaustive prod(C_i) search; returns best + full ranking."""
+        if qos_weight < 0:
+            raise ValueError(f"qos_weight must be >= 0, got {qos_weight}")
+        size = self.search_space_size()
+        if size > self.MAX_EXHAUSTIVE:
+            raise ValueError(
+                f"search space has {size} assemblies (> {self.MAX_EXHAUSTIVE}); "
+                "use optimize_greedy()"
+            )
+        ranked: list[RankedAssembly] = []
+        if not self.slots:
+            ranked.append(self._evaluate({}, qos_weight))
+        else:
+            for combo in itertools.product(*(self.candidates[s] for s in self.slots)):
+                binding = dict(zip(self.slots, combo))
+                ra = self._evaluate(binding, qos_weight)
+                if min_quality is not None and ra.quality < min_quality:
+                    continue
+                ranked.append(ra)
+        if not ranked:
+            raise ValueError(
+                f"no assembly satisfies min_quality={min_quality}; best available "
+                f"quality is {max(m.quality for ms in self.candidates.values() for m in ms)}"
+            )
+        ranked.sort(key=lambda ra: ra.score)
+        best = ranked[0]
+        _, breakdown = self.composite.evaluate(best.binding)
+        return OptimizationResult(best=best, ranked=ranked, breakdown=breakdown)
+
+    def optimize_greedy(
+        self,
+        qos_weight: float = 0.0,
+        min_quality: float | None = None,
+    ) -> OptimizationResult:
+        """Slot-by-slot selection (exact for additive composites).
+
+        Scales linearly in sum(C_i) instead of prod(C_i).
+        """
+        binding: dict[str, PerformanceModel] = {}
+        for slot in self.slots:
+            pool = self.candidates[slot]
+            if min_quality is not None:
+                pool = [m for m in pool if m.quality >= min_quality] or pool
+            best_m, best_score = None, None
+            for m in pool:
+                trial = dict(binding)
+                trial[slot] = m
+                # Unbound remaining slots get their first candidate as a
+                # placeholder — additivity makes the comparison unaffected.
+                for rest in self.slots:
+                    trial.setdefault(rest, self.candidates[rest][0])
+                ra = self._evaluate(trial, qos_weight)
+                if best_score is None or ra.score < best_score:
+                    best_m, best_score = m, ra.score
+            assert best_m is not None
+            binding[slot] = best_m
+        ra = self._evaluate(binding, qos_weight)
+        _, breakdown = self.composite.evaluate(ra.binding)
+        return OptimizationResult(best=ra, ranked=[ra], breakdown=breakdown)

@@ -1,0 +1,46 @@
+"""TAU-analog measurement library (paper Section 4.1).
+
+Provides the four interfaces the paper's TAU component exposes through its
+MeasurementPort:
+
+* **timing** — create/name/start/stop/group timers with inclusive and
+  exclusive wall-clock accumulation (:class:`Profiler`);
+* **events** — atomic events tracking min/max/mean/std/count
+  (:class:`AtomicEvent`);
+* **control** — enable/disable all timers of a group at runtime
+  (e.g. every MPI timer via the ``"MPI"`` group);
+* **query** — read current cumulative metric values so the Mastermind can
+  difference before/after snapshots (:class:`MeasurementSnapshot`).
+
+Hardware metrics come from :mod:`repro.tau.hardware`, a PAPI-like layer
+backed by an explicit cache model (see DESIGN.md substitutions).  Profiles
+dump to TAU-style ``profile.<rank>`` files, and
+:func:`repro.tau.summary.function_summary` renders the paper's Figure 3
+"FUNCTION SUMMARY (mean)" table.
+"""
+
+from repro.tau.timer import TimerStats
+from repro.tau.trace import Tracer, TraceRecord, TraceKind, merge_traces, region_durations
+from repro.tau.events import AtomicEvent, EventRegistry
+from repro.tau.hardware import CacheModel, HardwareCounters, AccessPattern
+from repro.tau.profiler import Profiler
+from repro.tau.query import MeasurementSnapshot
+from repro.tau.summary import function_summary, merge_snapshots
+
+__all__ = [
+    "TimerStats",
+    "Tracer",
+    "TraceRecord",
+    "TraceKind",
+    "merge_traces",
+    "region_durations",
+    "AtomicEvent",
+    "EventRegistry",
+    "CacheModel",
+    "HardwareCounters",
+    "AccessPattern",
+    "Profiler",
+    "MeasurementSnapshot",
+    "function_summary",
+    "merge_snapshots",
+]

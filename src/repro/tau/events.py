@@ -1,0 +1,85 @@
+"""Atomic (user-defined) events.
+
+Paper Section 4.1: "The event interface helps track application and runtime
+system level atomic events.  For each event of a given name, the minimum,
+maximum, mean, standard deviation and number of entries are recorded."
+
+Streaming mean/variance use Welford's algorithm for numerical stability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class AtomicEvent:
+    """Streaming statistics for one named event."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        """Record one occurrence of the event with ``value``."""
+        v = float(value)
+        self.count += 1
+        delta = v - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (v - self._mean)
+        self.minimum = min(self.minimum, v)
+        self.maximum = max(self.maximum, v)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0 for fewer than 2 entries)."""
+        return math.sqrt(self._m2 / self.count) if self.count >= 2 else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """The paper's five statistics as a dict."""
+        return {
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+            "std": self.std,
+            "count": float(self.count),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AtomicEvent({self.name!r}, n={self.count}, mean={self.mean:.3g}, "
+            f"std={self.std:.3g}, min={self.minimum:.3g}, max={self.maximum:.3g})"
+        )
+
+
+class EventRegistry:
+    """Named collection of atomic events."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, AtomicEvent] = {}
+
+    def event(self, name: str) -> AtomicEvent:
+        """Get or create the event called ``name``."""
+        ev = self._events.get(name)
+        if ev is None:
+            ev = self._events[name] = AtomicEvent(name)
+        return ev
+
+    def record(self, name: str, value: float) -> None:
+        self.event(name).record(value)
+
+    def names(self) -> list[str]:
+        return sorted(self._events)
+
+    def summaries(self) -> dict[str, dict[str, float]]:
+        return {n: e.summary() for n, e in self._events.items()}

@@ -1,0 +1,194 @@
+"""The per-rank profiler: timers, groups, control, charging, dumping.
+
+One :class:`Profiler` instance lives on each simulated rank (ranks are
+threads; the profiler is used only from its own rank thread, plus the MPI
+accounting listener which also fires on the rank thread, so no locking is
+required on the hot path).
+
+Two ways time enters a timer:
+
+* ``start``/``stop`` (or the :meth:`timer` context manager) bracket a code
+  region and measure **wall-clock** time, as TAU does;
+* :meth:`charge` adds an externally modeled duration (the simulated MPI
+  layer's virtual cost) — it both accumulates under the routine's own timer
+  and counts as *child* time of the enclosing region so exclusive times
+  stay consistent (Figure 3 semantics).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from repro.tau.events import EventRegistry
+from repro.tau.hardware import CacheModel, HardwareCounters
+from repro.tau.timer import TimerStats, _Frame
+from repro.tau.trace import Tracer
+from repro.util.timebase import now_us
+
+MPI_GROUP = "MPI"
+
+
+class Profiler:
+    """Timing + events + hardware counters for one rank.
+
+    Pass a :class:`~repro.tau.trace.Tracer` to additionally record the
+    timestamped ENTER/EXIT/EVENT timeline (TAU's tracing option); profiling
+    aggregates are always collected.
+    """
+
+    def __init__(
+        self,
+        rank: int = 0,
+        cache: CacheModel | None = None,
+        clock: Callable[[], float] = now_us,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.rank = int(rank)
+        self._clock = clock
+        self._timers: dict[str, TimerStats] = {}
+        self._stack: list[_Frame] = []
+        self._disabled_groups: set[str] = set()
+        self.events = EventRegistry()
+        self.counters = HardwareCounters(cache)
+        self.tracer = tracer
+
+    # ------------------------------------------------------------ timers
+    def _get_timer(self, name: str, group: str) -> TimerStats:
+        t = self._timers.get(name)
+        if t is None:
+            t = self._timers[name] = TimerStats(name=name, group=group)
+        return t
+
+    def group_enabled(self, group: str) -> bool:
+        return group not in self._disabled_groups
+
+    def enable_group(self, group: str) -> None:
+        """Control interface: re-enable all timers of ``group``."""
+        self._disabled_groups.discard(group)
+
+    def disable_group(self, group: str) -> None:
+        """Control interface: suppress all timers of ``group`` at runtime."""
+        self._disabled_groups.add(group)
+
+    def start(self, name: str, group: str = "default") -> None:
+        """Start (push) the named timer; no-op if its group is disabled.
+
+        The timer is registered (at zero) even when disabled so the
+        matching ``stop`` can recognize it and no-op too.
+        """
+        self._get_timer(name, group)
+        if not self.group_enabled(group):
+            return
+        if self.tracer is not None:
+            self.tracer.enter(name)
+        reentrant = any(f.name == name for f in self._stack)
+        self._stack.append(_Frame(name=name, start_us=self._clock(), reentrant=reentrant))
+
+    def stop(self, name: str) -> float:
+        """Stop the named timer (must be the innermost started one).
+
+        Returns the elapsed inclusive microseconds for this bracketing.
+        """
+        timer = self._timers.get(name)
+        if timer is not None and not self.group_enabled(timer.group):
+            return 0.0
+        if not self._stack:
+            raise RuntimeError(f"stop({name!r}) with no timer running")
+        frame = self._stack[-1]
+        if frame.name != name:
+            raise RuntimeError(
+                f"stop({name!r}) does not match innermost running timer {frame.name!r}"
+            )
+        self._stack.pop()
+        if self.tracer is not None:
+            self.tracer.exit(name)
+        elapsed = self._clock() - frame.start_us
+        assert timer is not None  # created at start()
+        timer.calls += 1
+        timer.exclusive_us += elapsed - frame.child_us
+        if not frame.reentrant:
+            # Recursive re-entries would double-count inclusive time.
+            timer.inclusive_us += elapsed
+        if self._stack:
+            self._stack[-1].child_us += elapsed
+        return elapsed
+
+    @contextlib.contextmanager
+    def timer(self, name: str, group: str = "default") -> Iterator[None]:
+        """Context manager bracketing a region with start/stop."""
+        self.start(name, group)
+        try:
+            yield
+        finally:
+            self.stop(name)
+
+    def charge(self, name: str, duration_us: float, group: str = MPI_GROUP) -> None:
+        """Record an externally modeled duration under timer ``name``.
+
+        The duration is attributed as child time of the currently running
+        region (so the region's *exclusive* time excludes it), and the
+        region's *inclusive* time is extended to cover it — modeled costs
+        have no wall-clock footprint of their own.
+        """
+        if duration_us < 0:
+            raise ValueError(f"negative charge {duration_us} for {name!r}")
+        if not self.group_enabled(group):
+            return
+        if self.tracer is not None:
+            self.tracer.event(name, duration_us)
+        t = self._get_timer(name, group)
+        t.calls += 1
+        t.inclusive_us += duration_us
+        t.exclusive_us += duration_us
+        if self._stack:
+            self._stack[-1].child_us += duration_us
+            # Extend enclosing start times backwards so the enclosing
+            # inclusive time covers the charged duration.
+            for f in self._stack:
+                f.start_us -= duration_us
+
+    # ----------------------------------------------------------- queries
+    def running(self) -> list[str]:
+        """Names of currently running timers, outermost first."""
+        return [f.name for f in self._stack]
+
+    def timer_names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def get(self, name: str) -> TimerStats:
+        """Cumulative stats for one timer (KeyError if unknown)."""
+        return self._timers[name].copy()
+
+    def timers_snapshot(self) -> dict[str, TimerStats]:
+        """Copies of all cumulative timer stats."""
+        return {n: t.copy() for n, t in self._timers.items()}
+
+    def group_total_us(self, group: str) -> float:
+        """Sum of inclusive time over all timers in ``group``.
+
+        With ``group="MPI"`` this is the paper's "MPI time ... determined by
+        the summation of the times of all the MPI routines".
+        """
+        return sum(t.inclusive_us for t in self._timers.values() if t.group == group)
+
+    # -------------------------------------------------------------- dump
+    def dump(self, path: str) -> None:
+        """Write a TAU-style text profile (one file per rank)."""
+        lines = [f"# TAU-style profile, rank {self.rank}", "# name group calls incl_us excl_us"]
+        for name in sorted(self._timers):
+            t = self._timers[name]
+            lines.append(
+                f"{name!r} {t.group} {t.calls} {t.inclusive_us:.3f} {t.exclusive_us:.3f}"
+            )
+        lines.append("# atomic events: name min max mean std count")
+        for name, s in sorted(self.events.summaries().items()):
+            lines.append(
+                f"{name!r} {s['min']:.6g} {s['max']:.6g} {s['mean']:.6g} "
+                f"{s['std']:.6g} {int(s['count'])}"
+            )
+        lines.append("# hardware counters")
+        for name, v in sorted(self.counters.read().items()):
+            lines.append(f"{name} {v}")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")

@@ -1,0 +1,67 @@
+"""Measurement snapshots for before/after differencing.
+
+Paper Section 4.3: "TAU measurements are made cumulatively, so in order to
+obtain the measurements for a single invocation, measurements must be made
+prior to the invocation and again after the invocation.  ...  The
+measurements for the single invocation are determined by the difference."
+
+:class:`MeasurementSnapshot` captures the three cumulative quantities the
+Mastermind differences: wall time, MPI time (summation of all MPI routine
+timers) and the hardware counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tau.profiler import MPI_GROUP, Profiler
+from repro.util.timebase import now_us
+
+
+@dataclass(frozen=True)
+class MeasurementSnapshot:
+    """Point-in-time cumulative readings from a rank's profiler."""
+
+    wall_us: float
+    mpi_us: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, profiler: Profiler) -> "MeasurementSnapshot":
+        """Read the current cumulative values (the TAU query interface)."""
+        return cls(
+            wall_us=now_us(),
+            mpi_us=profiler.group_total_us(MPI_GROUP),
+            counters=profiler.counters.read(),
+        )
+
+    def delta(self, later: "MeasurementSnapshot") -> "InvocationMeasurement":
+        """Difference two snapshots into a single-invocation measurement."""
+        wall = later.wall_us - self.wall_us
+        mpi = later.mpi_us - self.mpi_us
+        if wall < 0 or mpi < 0:
+            raise ValueError("snapshot delta is negative; snapshots out of order")
+        dctr = {
+            k: later.counters.get(k, 0) - self.counters.get(k, 0)
+            for k in set(self.counters) | set(later.counters)
+        }
+        return InvocationMeasurement(wall_us=wall, mpi_us=mpi, counters=dctr)
+
+
+@dataclass(frozen=True)
+class InvocationMeasurement:
+    """Per-invocation measurement (paper Section 3.2's minimal data set).
+
+    ``compute_us`` is "the difference between the above" — total execution
+    time minus message-passing time, the cache-sensitive quantity.
+    """
+
+    wall_us: float
+    mpi_us: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compute_us(self) -> float:
+        """Computation time: wall minus MPI (floored at 0 — the modeled MPI
+        cost can exceed the physical wall time in the simulator)."""
+        return max(0.0, self.wall_us - self.mpi_us)

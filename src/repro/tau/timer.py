@@ -1,0 +1,50 @@
+"""Timer statistics records.
+
+TAU profiling semantics (paper Section 4.1 / Figure 3):
+
+* **inclusive** time — total time spent in a region including all nested
+  instrumented regions and charged (MPI) costs;
+* **exclusive** time — inclusive minus time attributed to nested regions;
+* **calls** — number of start/stop bracketings (or direct charges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimerStats:
+    """Cumulative statistics for one named timer."""
+
+    name: str
+    group: str = "default"
+    inclusive_us: float = 0.0
+    exclusive_us: float = 0.0
+    calls: int = 0
+
+    @property
+    def usec_per_call(self) -> float:
+        """Mean inclusive microseconds per call (0 when never called)."""
+        return self.inclusive_us / self.calls if self.calls else 0.0
+
+    def copy(self) -> "TimerStats":
+        return TimerStats(self.name, self.group, self.inclusive_us, self.exclusive_us, self.calls)
+
+    def add(self, other: "TimerStats") -> None:
+        """Accumulate another timer's stats (used for cross-rank merging)."""
+        if other.name != self.name:
+            raise ValueError(f"cannot merge timer {other.name!r} into {self.name!r}")
+        self.inclusive_us += other.inclusive_us
+        self.exclusive_us += other.exclusive_us
+        self.calls += other.calls
+
+
+@dataclass
+class _Frame:
+    """Live stack frame for a started timer."""
+
+    name: str
+    start_us: float
+    child_us: float = 0.0
+    reentrant: bool = False

@@ -1,0 +1,120 @@
+"""Event tracing (the TAU component's second measurement option).
+
+Paper Section 4.1: "The TAU implementation of this generic performance
+component interface supports both profiling and tracing measurement
+options."  Profiling (cumulative aggregates) lives in
+:mod:`repro.tau.profiler`; this module adds the tracing option: a
+timestamped stream of ENTER/EXIT/EVENT records per rank, dumpable to a
+simple text format and mergeable across ranks for timeline analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.util.timebase import now_us
+
+
+class TraceKind(enum.Enum):
+    ENTER = "ENTER"
+    EXIT = "EXIT"
+    EVENT = "EVENT"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline record."""
+
+    t_us: float
+    rank: int
+    kind: TraceKind
+    name: str
+    value: float = 0.0
+
+    def format(self) -> str:
+        return f"{self.t_us:.3f}\t{self.rank}\t{self.kind.value}\t{self.name}\t{self.value:.6g}"
+
+
+class Tracer:
+    """Per-rank trace recorder with a bounded buffer.
+
+    When the buffer fills, the oldest records are dropped and
+    ``dropped_count`` reflects it — a tracer must never grow unboundedly
+    inside a long simulation.
+    """
+
+    def __init__(self, rank: int = 0, max_records: int = 100_000,
+                 clock: Callable[[], float] = now_us) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.rank = int(rank)
+        self.max_records = int(max_records)
+        self._clock = clock
+        self._records: list[TraceRecord] = []
+        self.dropped_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _append(self, record: TraceRecord) -> None:
+        if len(self._records) >= self.max_records:
+            # Drop the oldest half in one go (amortized O(1) per record).
+            keep = self.max_records // 2
+            self.dropped_count += len(self._records) - keep
+            self._records = self._records[-keep:]
+        self._records.append(record)
+
+    def enter(self, name: str) -> None:
+        """Record region entry."""
+        self._append(TraceRecord(self._clock(), self.rank, TraceKind.ENTER, name))
+
+    def exit(self, name: str) -> None:
+        """Record region exit."""
+        self._append(TraceRecord(self._clock(), self.rank, TraceKind.EXIT, name))
+
+    def event(self, name: str, value: float = 0.0) -> None:
+        """Record an instantaneous event with an optional value."""
+        self._append(TraceRecord(self._clock(), self.rank, TraceKind.EVENT, name, value))
+
+    # ------------------------------------------------------------------ #
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def dump(self, path: str) -> None:
+        """Write the trace as tab-separated text (t, rank, kind, name, value)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("# t_us\trank\tkind\tname\tvalue\n")
+            for rec in self._records:
+                fh.write(rec.format() + "\n")
+
+
+def merge_traces(traces: Iterable[Tracer]) -> list[TraceRecord]:
+    """Merge per-rank traces into one time-ordered stream."""
+    merged: list[TraceRecord] = []
+    for tr in traces:
+        merged.extend(tr.records())
+    merged.sort(key=lambda r: (r.t_us, r.rank))
+    return merged
+
+
+def region_durations(records: Iterable[TraceRecord]) -> dict[tuple[int, str], list[float]]:
+    """Pair ENTER/EXIT records into per-(rank, region) duration lists.
+
+    Handles nesting via per-(rank, name) stacks; unmatched EXITs raise.
+    """
+    stacks: dict[tuple[int, str], list[float]] = {}
+    out: dict[tuple[int, str], list[float]] = {}
+    for rec in records:
+        key = (rec.rank, rec.name)
+        if rec.kind is TraceKind.ENTER:
+            stacks.setdefault(key, []).append(rec.t_us)
+        elif rec.kind is TraceKind.EXIT:
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"EXIT without ENTER for {rec.name!r} on rank {rec.rank}")
+            start = stack.pop()
+            out.setdefault(key, []).append(rec.t_us - start)
+    return out

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: clocks, RNG handling, validation, tables.
+
+These helpers are deliberately free of dependencies on the rest of the
+package so that every subsystem (MPI simulator, TAU measurement layer, CCA
+framework, AMR/Euler substrate) can use them without import cycles.
+"""
+
+from repro.util.timebase import WallClock, VirtualClock, Clock, now_us
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.util.tabular import format_table, format_series
+
+__all__ = [
+    "WallClock",
+    "VirtualClock",
+    "Clock",
+    "now_us",
+    "make_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "format_table",
+    "format_series",
+]

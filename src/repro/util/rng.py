@@ -1,0 +1,34 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic element in the simulator (network jitter, workload
+generation) draws from a :class:`numpy.random.Generator` created here, so
+experiments are reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a Generator.
+
+    Accepts ``None`` (non-deterministic), an integer seed, or an existing
+    generator (returned unchanged) so APIs can take a flexible ``seed``
+    argument.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent child generators from one seed.
+
+    Used to give each simulated MPI rank its own stream so per-rank draws do
+    not depend on thread interleaving.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting for profiles and experiment reports.
+
+The harness prints every reproduced table and figure as text (rows for
+tables, (x, y) series for figures) in the spirit of the paper's Figure 3
+"FUNCTION SUMMARY" dump.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are rendered with ``float_fmt``; everything else with ``str``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+
+    ncols = len(headers)
+    for r in rendered:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}: {r}")
+
+    widths = [len(h) for h in headers]
+    for r in rendered:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table (one figure curve)."""
+    if len(x) != len(y):
+        raise ValueError(f"series length mismatch: {len(x)} vs {len(y)}")
+    return format_table([xlabel, ylabel], zip(x, y), title=title, float_fmt="{:.4g}")

@@ -1,0 +1,112 @@
+"""Box geometry, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+
+
+def boxes(max_coord=64):
+    return st.builds(
+        lambda i0, j0, di, dj: Box(i0, j0, i0 + di, j0 + dj),
+        st.integers(-max_coord, max_coord),
+        st.integers(-max_coord, max_coord),
+        st.integers(0, max_coord),
+        st.integers(0, max_coord),
+    )
+
+
+class TestBasics:
+    def test_shape_and_cells(self):
+        b = Box(0, 0, 3, 1)
+        assert b.shape == (4, 2)
+        assert b.ncells == 8
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Box(2, 0, 1, 5)
+
+    def test_contains(self):
+        b = Box(0, 0, 2, 2)
+        assert b.contains(0, 0) and b.contains(2, 2)
+        assert not b.contains(3, 0)
+
+    def test_contains_box(self):
+        assert Box(0, 0, 5, 5).contains_box(Box(1, 1, 4, 4))
+        assert not Box(0, 0, 5, 5).contains_box(Box(1, 1, 6, 4))
+
+    def test_intersection(self):
+        a, b = Box(0, 0, 4, 4), Box(3, 3, 8, 8)
+        assert a.intersection(b) == Box(3, 3, 4, 4)
+
+    def test_disjoint_intersection_none(self):
+        assert Box(0, 0, 1, 1).intersection(Box(5, 5, 6, 6)) is None
+
+    def test_grow_shrink(self):
+        assert Box(2, 2, 4, 4).grow(1) == Box(1, 1, 5, 5)
+        assert Box(2, 2, 4, 4).grow(-1) == Box(3, 3, 3, 3)
+
+    def test_grow_emptying_rejected(self):
+        with pytest.raises(ValueError, match="empties"):
+            Box(0, 0, 1, 1).grow(-1)
+
+    def test_shift(self):
+        assert Box(0, 0, 1, 1).shift(2, -3) == Box(2, -3, 3, -2)
+
+    def test_refine_coarsen(self):
+        b = Box(1, 2, 3, 4)
+        assert b.refine(2) == Box(2, 4, 7, 9)
+        assert b.refine(2).coarsen(2) == b
+
+    def test_refine_identity(self):
+        assert Box(1, 1, 2, 2).refine(1) == Box(1, 1, 2, 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, 1, 1).refine(0)
+        with pytest.raises(ValueError):
+            Box(0, 0, 1, 1).coarsen(-1)
+
+    def test_slices(self):
+        outer = Box(0, 0, 9, 9)
+        inner = Box(2, 3, 4, 5)
+        si, sj = inner.slices(outer)
+        assert (si, sj) == (slice(2, 5), slice(3, 6))
+
+    def test_slices_requires_containment(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, 5, 5).slices(Box(1, 1, 3, 3))
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=boxes(), b=boxes())
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=boxes(), b=boxes())
+def test_intersection_contained_in_both(a, b):
+    ov = a.intersection(b)
+    if ov is not None:
+        assert a.contains_box(ov) and b.contains_box(ov)
+        assert ov.ncells <= min(a.ncells, b.ncells)
+
+
+@settings(max_examples=80, deadline=None)
+@given(b=boxes(), r=st.integers(1, 4))
+def test_refine_coarsen_roundtrip(b, r):
+    assert b.refine(r).coarsen(r) == b
+
+
+@settings(max_examples=80, deadline=None)
+@given(b=boxes(), r=st.integers(1, 4))
+def test_refine_scales_cells(b, r):
+    assert b.refine(r).ncells == b.ncells * r * r
+
+
+@settings(max_examples=80, deadline=None)
+@given(b=boxes(), n=st.integers(0, 8))
+def test_grow_then_shrink_roundtrip(b, n):
+    assert b.grow(n).grow(-n) == b

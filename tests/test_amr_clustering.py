@@ -1,0 +1,115 @@
+"""Berger-Rigoutsos clustering invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.clustering import cluster_flags
+
+
+def coverage_holds(flags, origin, boxes):
+    """Every flagged cell lies inside some returned box."""
+    covered = np.zeros_like(flags, dtype=bool)
+    for b in boxes:
+        si, sj = b.slices(origin)
+        covered[si, sj] = True
+    return bool((covered | ~flags).all())
+
+
+def boxes_disjoint(boxes):
+    for i, a in enumerate(boxes):
+        for b in boxes[i + 1:]:
+            if a.intersection(b) is not None:
+                return False
+    return True
+
+
+class TestClustering:
+    def test_empty_flags_no_boxes(self):
+        origin = Box(0, 0, 7, 7)
+        assert cluster_flags(np.zeros((8, 8), bool), origin) == []
+
+    def test_single_blob_single_box(self):
+        origin = Box(0, 0, 15, 15)
+        flags = np.zeros((16, 16), bool)
+        flags[4:8, 4:8] = True
+        boxes = cluster_flags(flags, origin, min_fill=0.7)
+        assert boxes == [Box(4, 4, 7, 7)]
+
+    def test_two_separated_blobs_split(self):
+        origin = Box(0, 0, 31, 31)
+        flags = np.zeros((32, 32), bool)
+        flags[2:8, 2:8] = True
+        flags[22:28, 22:28] = True
+        boxes = cluster_flags(flags, origin, min_fill=0.7, min_width=2)
+        assert len(boxes) == 2
+        assert coverage_holds(flags, origin, boxes)
+
+    def test_l_shape_efficient_cover(self):
+        origin = Box(0, 0, 19, 19)
+        flags = np.zeros((20, 20), bool)
+        flags[0:16, 0:4] = True
+        flags[12:16, 0:16] = True
+        boxes = cluster_flags(flags, origin, min_fill=0.7, min_width=2)
+        assert coverage_holds(flags, origin, boxes)
+        total_cells = sum(b.ncells for b in boxes)
+        assert total_cells < 20 * 20 * 0.6  # much tighter than the bounding box
+
+    def test_max_cells_respected_for_large_blob(self):
+        origin = Box(0, 0, 63, 63)
+        flags = np.ones((64, 64), bool)
+        boxes = cluster_flags(flags, origin, max_cells=512, min_width=4)
+        assert coverage_holds(flags, origin, boxes)
+        assert all(b.ncells <= 512 for b in boxes)
+
+    def test_offset_origin(self):
+        origin = Box(10, 20, 25, 35)
+        flags = np.zeros((16, 16), bool)
+        flags[0:4, 0:4] = True
+        boxes = cluster_flags(flags, origin, min_width=2)
+        assert boxes == [Box(10, 20, 13, 23)]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            cluster_flags(np.zeros((4, 4), bool), Box(0, 0, 7, 7))
+
+    def test_bad_parameters(self):
+        flags = np.ones((4, 4), bool)
+        origin = Box(0, 0, 3, 3)
+        with pytest.raises(ValueError):
+            cluster_flags(flags, origin, min_fill=1.5)
+        with pytest.raises(ValueError):
+            cluster_flags(flags, origin, max_cells=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_all_flags_covered_and_disjoint(data):
+    n = data.draw(st.integers(8, 40))
+    origin = Box(0, 0, n - 1, n - 1)
+    flags = np.zeros((n, n), dtype=bool)
+    n_blobs = data.draw(st.integers(1, 4))
+    for _ in range(n_blobs):
+        i = data.draw(st.integers(0, n - 2))
+        j = data.draw(st.integers(0, n - 2))
+        h = data.draw(st.integers(1, min(8, n - i)))
+        w = data.draw(st.integers(1, min(8, n - j)))
+        flags[i : i + h, j : j + w] = True
+    boxes = cluster_flags(flags, origin, min_fill=0.6, min_width=2)
+    assert coverage_holds(flags, origin, boxes)
+    assert boxes_disjoint(boxes)
+    assert all(origin.contains_box(b) for b in boxes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), thresh=st.floats(0.3, 0.9))
+def test_property_random_speckle(seed, thresh):
+    rng = np.random.default_rng(seed)
+    n = 24
+    origin = Box(0, 0, n - 1, n - 1)
+    flags = rng.random((n, n)) > thresh
+    boxes = cluster_flags(flags, origin, min_fill=0.5, min_width=2)
+    assert coverage_holds(flags, origin, boxes)
+    assert boxes_disjoint(boxes)

@@ -1,0 +1,194 @@
+"""GridHierarchy: initialization, ghost updates, regrid, sync."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.mpi import ParallelRunner
+from repro.mpi.network import LOOPBACK
+
+
+def smooth_ic(X, Y):
+    return {"rho": 1.0 + 0.1 * np.sin(2 * np.pi * X) * np.cos(2 * np.pi * Y)}
+
+
+def step_ic(X, Y):
+    return {"rho": np.where(X < 0.5, 1.0, 4.0)}
+
+
+def make_hierarchy(comm=None, **kw):
+    defaults = dict(max_levels=3, flag_threshold=0.05, max_patch_cells=1024,
+                    min_width=4)
+    defaults.update(kw)
+    return GridHierarchy(Box(0, 0, 31, 31), ["rho"], comm=comm, **defaults)
+
+
+class TestSerialBasics:
+    def test_init_level0_covers_domain(self):
+        h = make_hierarchy()
+        h.init_level0(blocks=(2, 2))
+        assert len(h.levels[0]) == 4
+        assert sum(p.ncells for p in h.levels[0]) == 32 * 32
+
+    def test_fill_and_cell_centers(self):
+        h = make_hierarchy()
+        h.init_level0()
+        h.fill(0, smooth_ic)
+        p = h.local_patches(0)[0]
+        X, Y = h.cell_centers(p)
+        assert X.shape == p.box.shape
+        assert 0.0 < X.min() < X.max() < 1.0
+        assert np.isfinite(p.data("rho")).all()
+
+    def test_dx_scales_with_level(self):
+        h = make_hierarchy()
+        dx0, dy0 = h.dx(0)
+        dx1, dy1 = h.dx(1)
+        assert dx1 == pytest.approx(dx0 / 2)
+        assert dy1 == pytest.approx(dy0 / 2)
+
+    def test_ghost_update_serial_fills_neighbors(self):
+        h = make_hierarchy()
+        h.init_level0(blocks=(2, 1))
+        # Distinct per-patch constants so exchanged ghosts are identifiable.
+        for k, p in enumerate(h.levels[0]):
+            p.data("rho")[...] = np.nan
+            p.interior("rho")[...] = float(k + 1)
+        h.ghost_update(0)
+        upper = h.levels[0][1]  # box rows 16..31
+        assert np.all(upper.data("rho")[:2, 2:-2] == 1.0)
+        # physical boundary ghosts extrapolated, not NaN
+        assert not np.isnan(upper.data("rho")).any()
+
+    def test_regrid_creates_fine_levels_on_steep_gradient(self):
+        h = make_hierarchy()
+        h.init_level0()
+        h.fill(0, step_ic)
+        h.regrid()
+        assert len(h.levels[1]) > 0
+        assert h.regrid_count == 1
+        # fine patches live where the step is (x ~ 0.5 -> column index ~ 32 on L1)
+        for p in h.levels[1]:
+            assert p.level == 1
+            assert 0 <= p.box.jlo and p.box.jhi < 64
+
+    def test_regrid_smooth_field_makes_no_fine_level(self):
+        h = make_hierarchy(flag_threshold=0.5)
+        h.init_level0()
+        h.fill(0, lambda X, Y: {"rho": np.ones_like(X)})
+        h.regrid()
+        assert h.levels[1] == []
+
+    def test_fine_patch_data_prolonged_from_coarse(self):
+        h = make_hierarchy()
+        h.init_level0()
+        h.fill(0, step_ic)
+        h.regrid()
+        for p in h.levels[1]:
+            rho = p.interior("rho")
+            assert np.isfinite(rho).all()
+            assert rho.min() >= 1.0 and rho.max() <= 4.0
+
+    def test_sync_down_restores_coarse_from_fine(self):
+        h = make_hierarchy()
+        h.init_level0()
+        h.fill(0, step_ic)
+        h.regrid()
+        assert h.levels[1]
+        # Perturb fine data, then sync down and verify the coarse average.
+        fp = h.levels[1][0]
+        fp.interior("rho")[...] = 7.0
+        h.sync_down(0)
+        cov = fp.box.coarsen(2)
+        for cp in h.levels[0]:
+            ov = cov.intersection(cp.box)
+            if ov is not None:
+                assert np.all(cp.view("rho", ov) == 7.0)
+
+    def test_fill_missing_field_rejected(self):
+        h = make_hierarchy()
+        h.init_level0()
+        with pytest.raises(KeyError, match="missing fields"):
+            h.fill(0, lambda X, Y: {"wrong": X})
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GridHierarchy(Box(0, 0, 7, 7), [])
+        with pytest.raises(ValueError):
+            make_hierarchy(balancer="magic")
+        with pytest.raises(ValueError):
+            GridHierarchy(Box(0, 0, 7, 7), ["rho"],
+                          physical_extent=((1.0, 0.0), (0.0, 1.0)))
+
+    def test_total_cells(self):
+        h = make_hierarchy()
+        h.init_level0()
+        assert h.total_cells(0) == 1024
+        assert h.total_cells() == 1024
+
+
+class TestDistributed:
+    def test_metadata_identical_across_ranks(self):
+        def job(comm):
+            h = make_hierarchy(comm=comm)
+            h.init_level0()
+            h.fill(0, step_ic)
+            h.ghost_update(0)
+            h.regrid()
+            return [(p.uid, p.box, p.owner) for lev in h.levels for p in lev]
+
+        out = ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)
+        assert out[0] == out[1] == out[2]
+
+    def test_parallel_matches_serial_data(self):
+        serial = make_hierarchy()
+        serial.init_level0()
+        serial.fill(0, step_ic)
+        serial.ghost_update(0)
+        serial.regrid()
+        serial_data = {
+            p.uid: p.data("rho").copy()
+            for lev in serial.levels for p in lev
+        }
+
+        def job(comm):
+            h = make_hierarchy(comm=comm)
+            h.init_level0()
+            h.fill(0, step_ic)
+            h.ghost_update(0)
+            h.regrid()
+            return {
+                p.uid: p.data("rho").copy()
+                for lev in h.levels for p in lev if h.is_local(p)
+            }
+
+        outs = ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)
+        combined = {}
+        for o in outs:
+            combined.update(o)
+        assert set(combined) == set(serial_data)
+        for uid, arr in combined.items():
+            assert np.allclose(arr, serial_data[uid], equal_nan=True), uid
+
+    def test_ghost_update_returns_positive_comm_time(self):
+        def job(comm):
+            h = make_hierarchy(comm=comm)
+            h.init_level0(blocks=(3, 1))
+            h.fill(0, step_ic)
+            return h.ghost_update(0)
+
+        costs = ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)
+        assert all(c > 0 for c in costs)
+
+    def test_regrid_rebalances_ownership(self):
+        def job(comm):
+            h = make_hierarchy(comm=comm, max_patch_cells=256)
+            h.init_level0()
+            h.fill(0, step_ic)
+            h.regrid()
+            owners = {p.owner for p in h.levels[1]}
+            return owners
+
+        owners = ParallelRunner(3, network=LOOPBACK, timeout_s=60.0).run(job)[0]
+        assert len(owners) > 1  # fine patches spread over ranks

@@ -1,0 +1,74 @@
+"""Property-based structural tests of the regrid pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+
+
+def random_ic(seed: int, n_blobs: int):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15, 0.85, size=(n_blobs, 2))
+    widths = rng.uniform(0.03, 0.1, size=n_blobs)
+    heights = rng.uniform(1.0, 4.0, size=n_blobs)
+
+    def ic(X, Y):
+        rho = np.ones_like(X)
+        for (cx, cy), w, h in zip(centers, widths, heights):
+            rho = rho + h * np.exp(-((X - cx) ** 2 + (Y - cy) ** 2) / (2 * w * w))
+        return {"rho": rho}
+
+    return ic
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), n_blobs=st.integers(1, 3),
+       max_levels=st.integers(2, 3))
+def test_regrid_preserves_structural_invariants(seed, n_blobs, max_levels):
+    h = GridHierarchy(Box(0, 0, 31, 31), ["rho"], max_levels=max_levels,
+                      max_patch_cells=512, flag_threshold=0.05)
+    h.init_level0()
+    h.fill(0, random_ic(seed, n_blobs))
+    h.regrid()
+    assert h.check_nesting() == []
+    # Data on every existing patch stays finite and positive after the
+    # prolongation cascade.
+    for lev in range(max_levels):
+        for p in h.local_patches(lev):
+            rho = p.interior("rho")
+            assert np.isfinite(rho).all()
+            assert rho.min() > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_repeated_regrids_remain_consistent(seed):
+    h = GridHierarchy(Box(0, 0, 31, 31), ["rho"], max_levels=2,
+                      max_patch_cells=512)
+    h.init_level0()
+    h.fill(0, random_ic(seed, 2))
+    for _ in range(3):
+        h.regrid()
+        assert h.check_nesting() == []
+    assert h.regrid_count == 3
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_flagged_cells_covered_by_new_level(seed):
+    """Every cell the flagger marks ends up inside a level-1 patch."""
+    h = GridHierarchy(Box(0, 0, 31, 31), ["rho"], max_levels=2,
+                      max_patch_cells=2048, flag_buffer=0)
+    h.init_level0()
+    h.fill(0, random_ic(seed, 2))
+    h.ghost_update(0)
+    flags = h._gather_flags(0, "rho")
+    h.regrid()
+    lbox = h.level_box(0)
+    covered = np.zeros(lbox.shape, dtype=bool)
+    for p in h.levels[1]:
+        covered[p.box.coarsen(h.r).slices(lbox)] = True
+    assert np.all(covered | ~flags)

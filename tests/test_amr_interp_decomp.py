@@ -1,0 +1,110 @@
+"""Prolongation/restriction and load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.decomposition import assign_knapsack, assign_round_robin
+from repro.amr.interpolation import prolong, restrict
+from repro.amr.patch import Patch
+
+
+class TestInterpolation:
+    def test_prolong_repeats_blocks(self):
+        c = np.array([[1.0, 2.0], [3.0, 4.0]])
+        f = prolong(c, 2)
+        assert f.shape == (4, 4)
+        assert np.all(f[:2, :2] == 1.0) and np.all(f[2:, 2:] == 4.0)
+
+    def test_restrict_averages(self):
+        f = np.arange(16.0).reshape(4, 4)
+        c = restrict(f, 2)
+        assert c.shape == (2, 2)
+        assert c[0, 0] == pytest.approx(f[:2, :2].mean())
+
+    def test_restrict_shape_mismatch(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            restrict(np.ones((5, 4)), 2)
+
+    def test_dimensionality_checks(self):
+        with pytest.raises(ValueError):
+            prolong(np.ones(4), 2)
+        with pytest.raises(ValueError):
+            restrict(np.ones(4), 2)
+
+    def test_factor_one_identity(self):
+        a = np.random.default_rng(0).random((3, 5))
+        assert np.array_equal(prolong(a, 1), a)
+        assert np.allclose(restrict(a, 1), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ni=st.integers(1, 12),
+    nj=st.integers(1, 12),
+    r=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_restrict_prolong_identity(ni, nj, r, seed):
+    """restrict(prolong(A)) == A exactly (conservation of cell means)."""
+    a = np.random.default_rng(seed).random((ni, nj))
+    assert np.allclose(restrict(prolong(a, r), r), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ni=st.integers(1, 8), nj=st.integers(1, 8), r=st.integers(1, 4),
+       seed=st.integers(0, 1000))
+def test_restriction_conserves_total(ni, nj, r, seed):
+    f = np.random.default_rng(seed).random((ni * r, nj * r))
+    c = restrict(f, r)
+    assert c.sum() * r * r == pytest.approx(f.sum())
+
+
+def make_patches(cell_counts):
+    patches = []
+    for k, n in enumerate(cell_counts):
+        patches.append(Patch(box=Box(0, k * 100, n - 1, k * 100), level=0))
+    return patches
+
+
+class TestDecomposition:
+    def test_round_robin_cycles(self):
+        patches = make_patches([10, 10, 10, 10])
+        assign_round_robin(patches, 2)
+        owners = [p.owner for p in sorted(patches, key=lambda p: p.uid)]
+        assert owners == [0, 1, 0, 1]
+
+    def test_knapsack_balances_skewed_loads(self):
+        patches = make_patches([100, 1, 1, 1, 1, 96])
+        rr = assign_round_robin(patches, 2)
+        ks = assign_knapsack(patches, 2)
+        assert ks.imbalance <= rr.imbalance
+        assert ks.imbalance == pytest.approx(1.0)
+
+    def test_all_patches_assigned_valid_ranks(self):
+        patches = make_patches([5, 7, 3, 9, 2])
+        assign_knapsack(patches, 3)
+        assert all(0 <= p.owner < 3 for p in patches)
+
+    def test_knapsack_deterministic(self):
+        a = make_patches([8, 3, 9, 1])
+        b = [p.copy() for p in a]
+        assign_knapsack(a, 3)
+        assign_knapsack(b, 3)
+        assert [p.owner for p in a] == [p.owner for p in b]
+
+    def test_stats_totals(self):
+        patches = make_patches([4, 6])
+        stats = assign_knapsack(patches, 2)
+        assert sorted(stats.cells_per_rank) == [4, 6]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            assign_knapsack(make_patches([1]), 0)
+
+    def test_more_ranks_than_patches(self):
+        patches = make_patches([5])
+        stats = assign_knapsack(patches, 4)
+        assert sum(stats.cells_per_rank) == 5

@@ -1,0 +1,77 @@
+"""Hierarchy structural invariants and the wiring-diagram renderer."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.patch import Patch
+from repro.harness.visualization import wiring_to_text
+
+
+def build_refined_hierarchy():
+    h = GridHierarchy(Box(0, 0, 31, 31), ["rho"], max_levels=3,
+                      max_patch_cells=1024)
+    h.init_level0()
+    h.fill(0, lambda X, Y: {"rho": np.where(X < 0.5, 1.0, 4.0)})
+    h.regrid()
+    return h
+
+
+class TestCheckNesting:
+    def test_healthy_hierarchy_clean(self):
+        h = build_refined_hierarchy()
+        assert h.levels[1], "test needs refinement to be meaningful"
+        assert h.check_nesting() == []
+
+    def test_detects_out_of_domain_patch(self):
+        h = build_refined_hierarchy()
+        h.levels[0].append(Patch(box=Box(-4, 0, -1, 3), level=0, nghost=2))
+        problems = h.check_nesting()
+        assert any("outside" in p for p in problems)
+
+    def test_detects_overlap(self):
+        h = build_refined_hierarchy()
+        clone = h.levels[0][0]
+        h.levels[0].append(Patch(box=clone.box, level=0, nghost=2))
+        problems = h.check_nesting()
+        assert any("overlap" in p for p in problems)
+
+    def test_detects_orphan_fine_patch(self):
+        h = build_refined_hierarchy()
+        # A fine patch over a corner the coarse level doesn't... the coarse
+        # level covers the whole domain, so remove a coarse patch instead.
+        removed = h.levels[0].pop(0)
+        problems = h.check_nesting()
+        if any(removed.box.refine(2).intersection(fp.box) for fp in h.levels[1]):
+            assert any("not covered" in p for p in problems)
+
+    def test_buffer_shrinks_requirement(self):
+        h = build_refined_hierarchy()
+        # With a generous buffer the (already-valid) nesting stays valid.
+        assert h.check_nesting(buffer=1) == []
+
+
+class TestWiringText:
+    def test_renders_case_study_graph(self):
+        from repro.cca import Framework
+        from repro.euler.ports import DriverParams
+        from repro.harness.casestudy import CaseStudyConfig, compose_case_study
+
+        fw = Framework()
+        compose_case_study(fw, CaseStudyConfig(
+            params=DriverParams(nx=32, ny=32, max_levels=1, steps=1),
+            instrument=True, nranks=1))
+        text = wiring_to_text(fw.wiring_diagram())
+        assert "components:" in text
+        # the three paper proxies appear as interposed components
+        for name in ("states_proxy", "flux_proxy", "mesh_proxy"):
+            assert name in text
+        assert "--monitor-->" in text
+        assert "mastermind" in text
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        text = wiring_to_text(nx.MultiDiGraph())
+        assert "(none)" in text

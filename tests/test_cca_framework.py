@@ -1,0 +1,230 @@
+"""Framework lifecycle: create/connect/destroy/replace/wiring/builtins."""
+
+import networkx as nx
+import pytest
+
+from repro.cca import Component, ComponentRepository, Framework, Port
+from repro.cca.framework import AbstractFrameworkPort
+from repro.cca.ports import GoPort
+
+
+class EchoPort(Port):
+    def echo(self, x):
+        raise NotImplementedError
+
+
+class EchoA(Component, EchoPort):
+    FUNCTIONALITY = "echo"
+
+    def echo(self, x):
+        return ("A", x)
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "echo", EchoPort)
+
+
+class EchoB(Component, EchoPort):
+    FUNCTIONALITY = "echo"
+
+    def echo(self, x):
+        return ("B", x)
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "echo", EchoPort)
+
+
+class Caller(Component, GoPort):
+    def set_services(self, sv):
+        self.sv = sv
+        sv.register_uses_port("echo", EchoPort)
+        sv.add_provides_port(self, "go", GoPort)
+
+    def go(self):
+        return self.sv.get_port("echo").echo(42)
+
+
+def make_app():
+    fw = Framework()
+    fw.create("echo", EchoA)
+    fw.create("caller", Caller)
+    fw.connect("caller", "echo", "echo", "echo")
+    return fw
+
+
+def test_create_and_go():
+    fw = make_app()
+    assert fw.go("caller") == ("A", 42)
+
+
+def test_create_by_repository_name():
+    repo = ComponentRepository()
+    repo.register(EchoA, "TheEcho")
+    fw = Framework(repository=repo)
+    comp = fw.create("e", "TheEcho")
+    assert isinstance(comp, EchoA)
+
+
+def test_create_unknown_name_raises():
+    with pytest.raises(KeyError, match="not in repository"):
+        Framework(repository=ComponentRepository()).create("e", "Missing")
+
+
+def test_duplicate_instance_name_rejected():
+    fw = make_app()
+    with pytest.raises(ValueError, match="already in use"):
+        fw.create("echo", EchoB)
+
+
+def test_ctor_kwargs_forwarded():
+    class WithArgs(Component):
+        def __init__(self, value):
+            self.value = value
+
+        def set_services(self, sv):
+            pass
+
+    fw = Framework()
+    assert fw.create("w", WithArgs, value=7).value == 7
+
+
+def test_disconnect():
+    fw = make_app()
+    fw.disconnect("caller", "echo")
+    with pytest.raises(Exception):
+        fw.go("caller")
+
+
+def test_destroy_unbinds_peers():
+    fw = make_app()
+    fw.destroy("echo")
+    assert "echo" not in fw.instance_names()
+    with pytest.raises(Exception):
+        fw.go("caller")
+
+
+def test_destroy_calls_release():
+    released = []
+
+    class Tracked(EchoA):
+        def release(self):
+            released.append(True)
+
+    fw = Framework()
+    fw.create("t", Tracked)
+    fw.destroy("t")
+    assert released == [True]
+
+
+def test_replace_component_preserves_wiring():
+    fw = make_app()
+    assert fw.go("caller") == ("A", 42)
+    fw.replace_component("echo", EchoB)
+    assert fw.go("caller") == ("B", 42)
+
+
+def test_replace_keeps_outbound_connections():
+    class Middle(Component, EchoPort):
+        def set_services(self, sv):
+            self.sv = sv
+            sv.register_uses_port("echo", EchoPort)
+            sv.add_provides_port(self, "echo", EchoPort)
+
+        def echo(self, x):
+            return ("M",) + self.sv.get_port("echo").echo(x)
+
+    fw = Framework()
+    fw.create("base", EchoA)
+    fw.create("mid", Middle)
+    fw.create("caller", Caller)
+    fw.connect("mid", "echo", "base", "echo")
+    fw.connect("caller", "echo", "mid", "echo")
+    assert fw.go("caller") == ("M", "A", 42)
+    fw.replace_component("mid", Middle)
+    assert fw.go("caller") == ("M", "A", 42)
+
+
+def test_wiring_diagram():
+    fw = make_app()
+    g = fw.wiring_diagram()
+    assert isinstance(g, nx.MultiDiGraph)
+    assert set(g.nodes) == {"echo", "caller"}
+    assert g.nodes["echo"]["component_class"] == "EchoA"
+    assert g.nodes["echo"]["functionality"] == "echo"
+    edges = list(g.edges(data=True))
+    assert edges == [("caller", "echo", {"port": "echo", "port_type": "EchoPort"})]
+
+
+def test_builtin_abstract_framework_port():
+    fw = make_app()
+    port = fw.builtin_port(Framework.ABSTRACT_FRAMEWORK_PORT)
+    assert isinstance(port, AbstractFrameworkPort)
+    assert port.component_class("echo") is EchoA
+    port.replace("echo", EchoB)
+    assert fw.go("caller") == ("B", 42)
+
+
+def test_builtin_mpi_port_without_comm_raises():
+    fw = make_app()
+    port = fw.builtin_port(Framework.MPI_PORT)
+    with pytest.raises(RuntimeError, match="no MPI communicator"):
+        port.comm()
+
+
+def test_builtin_ports_resolve_through_services():
+    class Inspector(Component):
+        def set_services(self, sv):
+            self.sv = sv
+
+    fw = Framework()
+    comp = fw.create("i", Inspector)
+    port = comp.sv.get_port(Framework.ABSTRACT_FRAMEWORK_PORT)
+    assert isinstance(port, AbstractFrameworkPort)
+
+
+def test_go_requires_goport():
+    fw = Framework()
+    fw.create("echo", EchoA)
+    with pytest.raises(TypeError, match="not a GoPort"):
+        fw.go("echo", provides_port="echo")
+
+
+def test_unknown_instance_lookup():
+    fw = Framework()
+    with pytest.raises(KeyError, match="no component instance"):
+        fw.component("ghost")
+
+
+def test_provided_port_unknown_name():
+    fw = make_app()
+    with pytest.raises(KeyError, match="provides no port"):
+        fw.provided_port("echo", "zzz")
+
+
+class TestRepository:
+    def test_register_and_get(self):
+        repo = ComponentRepository()
+        repo.register(EchoA)
+        assert repo.get("EchoA") is EchoA
+
+    def test_reregister_same_class_ok(self):
+        repo = ComponentRepository()
+        repo.register(EchoA)
+        repo.register(EchoA)
+
+    def test_conflicting_name_rejected(self):
+        repo = ComponentRepository()
+        repo.register(EchoA, "X")
+        with pytest.raises(ValueError, match="already registered"):
+            repo.register(EchoB, "X")
+
+    def test_non_component_rejected(self):
+        with pytest.raises(TypeError):
+            ComponentRepository().register(int)
+
+    def test_implementations_of(self):
+        repo = ComponentRepository()
+        repo.register(EchoA)
+        repo.register(EchoB)
+        repo.register(Caller)
+        impls = repo.implementations_of("echo")
+        assert set(impls) == {"EchoA", "EchoB"}

@@ -1,0 +1,145 @@
+"""Assorted edge cases across modules: extractors, requests, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.euler.ports import (_flux_params, _mesh_level_params,
+                               _states_params)
+from repro.mpi import ParallelRunner, SimMPIError, waitall, waitany, waitsome
+from repro.mpi.network import LOOPBACK
+from repro.tau.summary import summary_rows
+from repro.tau.timer import TimerStats
+
+
+class TestPerfParamExtractors:
+    def test_states_params_positional(self):
+        U = np.zeros((4, 10, 12))
+        assert _states_params((U, "y"), {}) == {"Q": 120, "mode": "y"}
+
+    def test_states_params_kw_mode_default(self):
+        U = np.zeros((4, 8, 8))
+        assert _states_params((U,), {}) == {"Q": 64, "mode": "x"}
+        assert _states_params((U,), {"mode": "y"})["mode"] == "y"
+
+    def test_flux_params(self):
+        WL = np.zeros((4, 6, 9))
+        WR = np.zeros((4, 6, 9))
+        assert _flux_params((WL, WR, "y"), {}) == {"Q": 54, "mode": "y"}
+        assert _flux_params((WL, WR), {})["mode"] == "x"
+
+    def test_mesh_level_params(self):
+        assert _mesh_level_params((2,), {}) == {"level": 2}
+        assert _mesh_level_params((), {"level": 1}) == {"level": 1}
+        assert _mesh_level_params((), {}) == {"level": 0}
+
+
+class TestRequestEdges:
+    def run2(self, fn):
+        return ParallelRunner(2, network=LOOPBACK, timeout_s=10.0).run(fn)
+
+    def test_waitsome_empty_list(self):
+        def job(comm):
+            return waitsome([])
+
+        assert self.run2(job) == [[], []]
+
+    def test_waitsome_all_already_complete_returns_empty(self):
+        def job(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=0)
+                req.wait()
+                return waitsome([req])
+            comm.send("x", dest=0, tag=0)
+            return None
+
+        assert self.run2(job)[0] == []
+
+    def test_waitany_empty_raises(self):
+        def job(comm):
+            try:
+                waitany([])
+            except ValueError:
+                return "valueerror"
+            return "no error"
+
+        assert self.run2(job) == ["valueerror", "valueerror"]
+
+    def test_waitany_all_complete_raises(self):
+        def job(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=0)
+                req.wait()
+                try:
+                    waitany([req])
+                except SimMPIError:
+                    return "raised"
+                return "silent"
+            comm.send(1, dest=0, tag=0)
+            return None
+
+        assert self.run2(job)[0] == "raised"
+
+    def test_waitall_empty(self):
+        def job(comm):
+            waitall([])
+            return True
+
+        assert all(self.run2(job))
+
+    def test_recv_request_payload_before_completion(self):
+        def job(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=0)
+                try:
+                    _ = req.payload
+                except SimMPIError:
+                    got = "guarded"
+                req.wait()
+                return (got, req.payload)
+            comm.send("late", dest=0, tag=0)
+            return None
+
+        assert self.run2(job)[0] == ("guarded", "late")
+
+    def test_mixed_rank_requests_rejected(self):
+        def job(comm):
+            req = comm.irecv(source=1 - comm.rank, tag=0)
+            others = comm.allgather(None)  # sync point
+            if comm.rank == 0:
+                # Fabricate a request belonging to another rank.
+                from repro.mpi.comm import SimComm
+
+                foreign = SimComm(comm.world, 1)
+                bad = foreign.irecv(source=0, tag=9)
+                try:
+                    waitsome([req, bad])
+                except SimMPIError:
+                    outcome = "rejected"
+                else:
+                    outcome = "accepted"
+            else:
+                outcome = None
+            comm.send("unblock", dest=1 - comm.rank, tag=0)
+            req.wait()
+            return outcome
+
+        assert self.run2(job)[0] == "rejected"
+
+
+class TestSummaryDefaults:
+    def test_default_total_is_max_inclusive(self):
+        merged = {
+            "big": TimerStats("big", inclusive_us=200.0, exclusive_us=200.0, calls=1),
+            "small": TimerStats("small", inclusive_us=50.0, exclusive_us=50.0, calls=1),
+        }
+        rows = summary_rows(merged, nranks=1)
+        assert rows[0][0] == 100.0  # 'big' defines 100%
+        assert rows[1][0] == pytest.approx(25.0)
+
+    def test_empty_profile(self):
+        assert summary_rows({}, nranks=1) == []
+
+    def test_zero_call_timer_row(self):
+        merged = {"never": TimerStats("never")}
+        rows = summary_rows(merged, nranks=1)
+        assert rows[0][4] == 0.0  # usec/call guarded

@@ -1,0 +1,163 @@
+"""EFM and Godunov flux components: consistency, Riemann exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.euler.efm import EFMFluxComponent, EFMKernel, efm_half_flux
+from repro.euler.eos import GAMMA_DEFAULT, flux_x
+from repro.euler.godunov import (GodunovFluxComponent, GodunovKernel,
+                                 sample_interface, solve_star_pressure)
+
+
+def state_stack(rho, un, ut, p, shape=(1, 5)):
+    W = np.empty((4,) + shape)
+    W[0], W[1], W[2], W[3] = rho, un, ut, p
+    return W
+
+
+def prim_lines():
+    pos = st.floats(0.1, 20.0)
+    vel = st.floats(-3.0, 3.0)
+    return st.builds(lambda r, u, v, p: (r, u, v, p), pos, vel, vel, pos)
+
+
+class TestEFM:
+    @settings(max_examples=60, deadline=None)
+    @given(w=prim_lines())
+    def test_split_flux_consistency(self, w):
+        """F+(W) + F-(W) telescopes to the analytic Euler flux."""
+        rho, u, v, p = w
+        W = np.array([[rho], [u], [v], [p]])
+        total = efm_half_flux(W, +1.0, GAMMA_DEFAULT) + efm_half_flux(W, -1.0, GAMMA_DEFAULT)
+        assert np.allclose(total, flux_x(W), rtol=1e-10, atol=1e-10)
+
+    def test_uniform_interface_gives_analytic_flux(self):
+        W = state_stack(1.0, 0.5, -0.2, 2.0)
+        F = EFMKernel().compute(W, W.copy(), "x")
+        expected = flux_x(np.array([[1.0], [0.5], [-0.2], [2.0]]))
+        assert np.allclose(F[:, 0, 0], expected[:, 0])
+
+    def test_supersonic_right_flow_upwinds_left_state(self):
+        WL = state_stack(1.0, 5.0, 0.0, 1.0)
+        WR = state_stack(3.0, 5.0, 0.0, 2.0)
+        F = EFMKernel().compute(WL, WR, "x")
+        expected = flux_x(np.array([[1.0], [5.0], [0.0], [1.0]]))
+        # At Mach ~4 the upwind side utterly dominates.
+        assert np.allclose(F[:, 0, 0], expected[:, 0], rtol=1e-4)
+
+    def test_mode_shapes_match_input(self):
+        Wx = state_stack(1.0, 0.0, 0.0, 1.0, shape=(8, 13))
+        Wy = state_stack(1.0, 0.0, 0.0, 1.0, shape=(9, 12))
+        assert EFMKernel().compute(Wx, Wx.copy(), "x").shape == Wx.shape
+        assert EFMKernel().compute(Wy, Wy.copy(), "y").shape == Wy.shape
+
+    def test_bad_stacks_rejected(self):
+        W = state_stack(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            EFMKernel().compute(W, W[:, :, :-1], "x")
+
+    def test_quality_below_godunov(self):
+        assert EFMFluxComponent.QUALITY < GodunovFluxComponent.QUALITY
+        assert EFMFluxComponent.FUNCTIONALITY == GodunovFluxComponent.FUNCTIONALITY == "flux"
+
+
+class TestRiemannSolver:
+    def test_equal_states_star_equals_state(self):
+        r = np.array([1.0])
+        u = np.array([0.3])
+        p = np.array([2.0])
+        p_star, u_star, _ = solve_star_pressure(r, u, p, r, u, p)
+        assert p_star[0] == pytest.approx(2.0, rel=1e-6)
+        assert u_star[0] == pytest.approx(0.3, rel=1e-6)
+
+    def test_symmetric_compression_zero_contact_speed(self):
+        r = np.array([1.0])
+        p = np.array([1.0])
+        p_star, u_star, _ = solve_star_pressure(
+            r, np.array([1.0]), p, r, np.array([-1.0]), p
+        )
+        assert u_star[0] == pytest.approx(0.0, abs=1e-10)
+        assert p_star[0] > 1.0  # colliding flows compress
+
+    def test_sod_star_values(self):
+        """Toro's Test 1 (Sod): p* = 0.30313, u* = 0.92745."""
+        p_star, u_star, iters = solve_star_pressure(
+            np.array([1.0]), np.array([0.0]), np.array([1.0]),
+            np.array([0.125]), np.array([0.0]), np.array([0.1]),
+        )
+        assert p_star[0] == pytest.approx(0.30313, rel=1e-4)
+        assert u_star[0] == pytest.approx(0.92745, rel=1e-4)
+        assert 1 <= iters <= 25
+
+    def test_toro_test2_double_rarefaction(self):
+        """Toro's Test 2: p* = 0.00189 (near-vacuum double rarefaction)."""
+        p_star, u_star, _ = solve_star_pressure(
+            np.array([1.0]), np.array([-2.0]), np.array([0.4]),
+            np.array([1.0]), np.array([2.0]), np.array([0.4]),
+        )
+        assert p_star[0] == pytest.approx(0.00189, rel=5e-2)
+        assert u_star[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_strong_shock_toro_test3(self):
+        """Toro's Test 3: p* = 460.894, u* = 19.5975."""
+        p_star, u_star, _ = solve_star_pressure(
+            np.array([1.0]), np.array([0.0]), np.array([1000.0]),
+            np.array([1.0]), np.array([0.0]), np.array([0.01]),
+        )
+        assert p_star[0] == pytest.approx(460.894, rel=1e-3)
+        assert u_star[0] == pytest.approx(19.5975, rel=1e-3)
+
+    def test_sample_equal_states_returns_state(self):
+        r = np.array([1.0]); u = np.array([0.5]); p = np.array([2.0])
+        ps, us, _ = solve_star_pressure(r, u, p, r, u, p)
+        rho, uu, pp = sample_interface(r, u, p, r, u, p, ps, us)
+        assert rho[0] == pytest.approx(1.0, rel=1e-6)
+        assert pp[0] == pytest.approx(2.0, rel=1e-6)
+
+
+class TestGodunovKernel:
+    @settings(max_examples=40, deadline=None)
+    @given(w=prim_lines())
+    def test_consistency_equal_states(self, w):
+        rho, u, v, p = w
+        W = state_stack(rho, u, v, p)
+        F = GodunovKernel().compute(W, W.copy(), "x")
+        expected = flux_x(np.array([[rho], [u], [v], [p]]))
+        assert np.allclose(F[:, 0, 0], expected[:, 0], rtol=1e-6, atol=1e-8)
+
+    def test_tangential_velocity_upwinded_by_contact(self):
+        WL = state_stack(1.0, 1.0, 5.0, 1.0)   # moving right, ut=5
+        WR = state_stack(1.0, 1.0, -5.0, 1.0)  # ut=-5
+        F = GodunovKernel().compute(WL, WR, "x")
+        # contact moves right -> tangential momentum flux carries left ut
+        assert F[2, 0, 0] > 0
+
+    def test_iterations_recorded(self):
+        kern = GodunovKernel()
+        WL = state_stack(1.0, 0.0, 0.0, 1000.0)
+        WR = state_stack(1.0, 0.0, 0.0, 0.01)
+        kern.compute(WL, WR, "x")
+        assert kern.total_iterations >= 1
+
+    def test_more_expensive_than_efm(self):
+        """The paper's headline cost ordering on identical inputs."""
+        import time
+
+        rng = np.random.default_rng(0)
+        shape = (1, 20_000)
+        WL = state_stack(1.0, 0.0, 0.0, 1.0, shape=shape)
+        WL[0] += 0.5 * rng.random(shape)
+        WL[3] += 0.5 * rng.random(shape)
+        WR = WL + 0.01 * rng.random((4,) + shape)
+        god, efm = GodunovKernel(), EFMKernel()
+        god.compute(WL, WR, "x"); efm.compute(WL, WR, "x")  # warm up
+        t0 = time.perf_counter(); god.compute(WL, WR, "x"); tg = time.perf_counter() - t0
+        t0 = time.perf_counter(); efm.compute(WL, WR, "x"); te = time.perf_counter() - t0
+        assert tg > te
+
+    def test_mode_y_shapes(self):
+        W = state_stack(1.0, 0.0, 0.0, 1.0, shape=(9, 12))
+        F = GodunovKernel().compute(W, W.copy(), "y")
+        assert F.shape == W.shape

@@ -1,0 +1,82 @@
+"""AMRMeshComponent: initialization, delegation, conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.cca import Framework
+from repro.euler.mesh_component import FIELDS, AMRMeshComponent
+from repro.euler.ports import DriverParams, MeshPort
+from repro.euler.setup import shock_interface_ic
+
+
+@pytest.fixture
+def mesh(tiny_params):
+    fw = Framework()
+    comp = fw.create("mesh", AMRMeshComponent, params=tiny_params)
+    comp.initialize(shock_interface_ic(tiny_params))
+    return comp
+
+
+class TestInitialize:
+    def test_levels_built_and_filled(self, mesh, tiny_params):
+        h = mesh.hierarchy()
+        assert len(h.levels[0]) == 4  # 2x2 blocks
+        assert h.levels[1], "steep IC must refine"
+        for lev in range(tiny_params.max_levels):
+            for p in h.local_patches(lev):
+                assert set(p.field_names()) == set(FIELDS)
+                assert np.isfinite(p.data("rho")).all()
+
+    def test_uninitialized_access_raises(self, tiny_params):
+        fw = Framework()
+        comp = fw.create("mesh", AMRMeshComponent, params=tiny_params)
+        with pytest.raises(RuntimeError, match="not initialized"):
+            comp.hierarchy()
+
+    def test_provides_mesh_port(self, tiny_params):
+        fw = Framework()
+        comp = fw.create("mesh", AMRMeshComponent, params=tiny_params)
+        port = fw.provided_port("mesh", "mesh")
+        assert isinstance(port, MeshPort)
+        assert port is comp
+
+    def test_domain_shape_follows_params(self):
+        params = DriverParams(nx=48, ny=24, max_levels=1)
+        fw = Framework()
+        comp = fw.create("mesh", AMRMeshComponent, params=params)
+        comp.initialize(shock_interface_ic(params))
+        lbox = comp.hierarchy().level_box(0)
+        # axis 0 = y rows (ny), axis 1 = x cols (nx)
+        assert lbox.shape == (24, 48)
+
+
+class TestDelegation:
+    def test_ghost_update_and_sync(self, mesh):
+        assert mesh.ghost_update(0) >= 0.0
+        assert mesh.sync_down(0) >= 0.0
+
+    def test_regrid_increments_count(self, mesh):
+        before = mesh.hierarchy().regrid_count
+        mesh.regrid()
+        assert mesh.hierarchy().regrid_count == before + 1
+
+    def test_local_patches_passthrough(self, mesh):
+        assert mesh.local_patches(0) == mesh.hierarchy().local_patches(0)
+
+
+class TestConveniences:
+    def test_stack_is_a_copy(self, mesh):
+        p = mesh.local_patches(0)[0]
+        U = mesh.stack(p)
+        assert U.shape[0] == 4
+        U[0, :, :] = -1.0
+        assert p.data("rho").min() > 0  # original untouched
+
+    def test_write_interior_roundtrip(self, mesh):
+        p = mesh.local_patches(0)[0]
+        g = p.nghost
+        U = mesh.stack(p)
+        interior = U[:, g:-g, g:-g] * 2.0
+        mesh.write_interior(p, interior)
+        assert np.allclose(p.interior("rho"), interior[0])
+        assert np.allclose(p.interior("E"), interior[3])

@@ -1,0 +1,142 @@
+"""Exact Riemann sampling and solver convergence on the Sod problem."""
+
+import numpy as np
+import pytest
+
+from repro.cca import Framework
+from repro.euler import (AMRMeshComponent, DriverParams, GodunovFluxComponent,
+                         EFMFluxComponent, InviscidFluxComponent,
+                         RK2Component, StatesComponent)
+from repro.euler.eos import conserved_from_primitive
+from repro.euler.godunov import sample_interface, solve_star_pressure
+from repro.euler.riemann_exact import (SOD_LEFT, SOD_RIGHT, sample_riemann,
+                                       sod_exact)
+from repro.harness.visualization import assemble_level_field
+
+
+class TestSampler:
+    def test_matches_interface_sampler_at_xi_zero(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            rho_l, rho_r = rng.uniform(0.1, 5.0, 2)
+            u_l, u_r = rng.uniform(-2.0, 2.0, 2)
+            p_l, p_r = rng.uniform(0.1, 5.0, 2)
+            one = np.ones(1)
+            ps, us, _ = solve_star_pressure(rho_l * one, u_l * one, p_l * one,
+                                            rho_r * one, u_r * one, p_r * one)
+            r_ref, u_ref, p_ref = sample_interface(
+                rho_l * one, u_l * one, p_l * one,
+                rho_r * one, u_r * one, p_r * one, ps, us,
+            )
+            r, u, p = sample_riemann((rho_l, u_l, p_l), (rho_r, u_r, p_r),
+                                     np.array([0.0]))
+            assert r[0] == pytest.approx(r_ref[0], rel=1e-10)
+            assert u[0] == pytest.approx(u_ref[0], rel=1e-10, abs=1e-10)
+            assert p[0] == pytest.approx(p_ref[0], rel=1e-10)
+
+    def test_far_field_recovers_input_states(self):
+        r, u, p = sample_riemann(SOD_LEFT, SOD_RIGHT, np.array([-100.0, 100.0]))
+        assert (r[0], u[0], p[0]) == pytest.approx(SOD_LEFT)
+        assert (r[1], u[1], p[1]) == pytest.approx(SOD_RIGHT)
+
+    def test_sod_known_star_region(self):
+        """Toro's reference: rho*L=0.42632, rho*R=0.26557 at the contact."""
+        # offsets larger than the Newton solve's tolerance on u*
+        r, u, p = sample_riemann(SOD_LEFT, SOD_RIGHT,
+                                 np.array([0.92745 - 1e-3, 0.92745 + 1e-3]))
+        assert p[0] == pytest.approx(0.30313, rel=1e-3)
+        assert r[0] == pytest.approx(0.42632, rel=1e-3)  # left of contact
+        assert r[1] == pytest.approx(0.26557, rel=1e-3)  # right of contact
+
+    def test_profile_monotone_through_left_rarefaction(self):
+        xi = np.linspace(-1.2, 0.9, 400)
+        r, u, p = sample_riemann(SOD_LEFT, SOD_RIGHT, xi)
+        # density decreases monotonically from left state to the contact
+        left_of_contact = xi < 0.92
+        rr = r[left_of_contact]
+        assert np.all(np.diff(rr) <= 1e-12)
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError):
+            sample_riemann((0.0, 0.0, 1.0), SOD_RIGHT, np.array([0.0]))
+
+
+class TestSodExact:
+    def test_t0_is_initial_condition(self):
+        x = np.array([0.2, 0.8])
+        r, u, p = sod_exact(x, 0.0)
+        assert (r[0], p[0]) == (1.0, 1.0)
+        assert (r[1], p[1]) == (0.125, 0.1)
+        assert np.all(u == 0.0)
+
+    def test_wave_positions_at_t02(self):
+        """At t=0.2: shock ~x=0.85, contact ~x=0.69, fan head ~x=0.26."""
+        x = np.linspace(0.0, 1.0, 2001)
+        r, _u, _p = sod_exact(x, 0.2)
+        jumps = np.flatnonzero(np.abs(np.diff(r)) > 0.02)
+        shock_x = x[jumps[-1]]
+        contact_x = x[jumps[-2]] if len(jumps) >= 2 else np.nan
+        assert shock_x == pytest.approx(0.850, abs=0.01)
+        assert contact_x == pytest.approx(0.685, abs=0.01)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            sod_exact(np.array([0.5]), -1.0)
+
+
+def run_sod(nx: int, flux_cls, steps: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Run the component solver on the Sod problem; return (x, rho, t)."""
+    params = DriverParams(nx=nx, ny=8, max_levels=1, steps=steps,
+                          regrid_every=0, blocks=(1, 2), cfl=0.4)
+    fw = Framework()
+    fw.create("states", StatesComponent)
+    fw.create("flux", flux_cls)
+    fw.create("inviscid", InviscidFluxComponent)
+    fw.create("rk2", RK2Component)
+    mesh = fw.create("mesh", AMRMeshComponent, params=params)
+    fw.connect("inviscid", "states", "states", "states")
+    fw.connect("inviscid", "flux", "flux", "flux")
+    fw.connect("rk2", "mesh", "mesh", "mesh")
+    fw.connect("rk2", "rhs", "inviscid", "rhs")
+
+    def sod_ic(X, Y):
+        rho = np.where(X < 0.5, SOD_LEFT[0], SOD_RIGHT[0])
+        p = np.where(X < 0.5, SOD_LEFT[2], SOD_RIGHT[2])
+        return {"rho": rho, "mx": np.zeros_like(rho), "my": np.zeros_like(rho),
+                "E": p / 0.4}
+
+    mesh.initialize(sod_ic)
+    rk2 = fw.component("rk2")
+    t = 0.0
+    for _ in range(steps):
+        dt = rk2.compute_dt(0.4)
+        rk2.advance(0, dt)
+        t += dt
+    h = mesh.hierarchy()
+    data = assemble_level_field(h, "rho", 0)
+    mid = data[data.shape[0] // 2, :]
+    dx, _ = h.dx(0)
+    x = (np.arange(mid.size) + 0.5) * dx
+    return x, mid, t
+
+
+def l1_error(nx: int, flux_cls, steps: int) -> float:
+    x, rho, t = run_sod(nx, flux_cls, steps)
+    exact, _u, _p = sod_exact(x, t)
+    return float(np.mean(np.abs(rho - exact)))
+
+
+class TestSolverAgainstExact:
+    def test_godunov_sod_l1_small(self):
+        err = l1_error(128, GodunovFluxComponent, steps=20)
+        assert err < 0.03
+
+    def test_efm_sod_l1_small(self):
+        err = l1_error(128, EFMFluxComponent, steps=20)
+        assert err < 0.05  # EFM is more dissipative
+
+    def test_convergence_with_resolution(self):
+        """Doubling resolution shrinks the L1 error (limited scheme ~O(h))."""
+        coarse = l1_error(64, GodunovFluxComponent, steps=10)
+        fine = l1_error(128, GodunovFluxComponent, steps=20)
+        assert fine < coarse * 0.75

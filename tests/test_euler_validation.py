@@ -1,0 +1,129 @@
+"""Quantitative physics validation of the full solver stack.
+
+Validates the component application against analytic gas dynamics, not just
+stability: the shock propagation speed must match the Rankine-Hugoniot
+prediction for the configured Mach number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cca import Framework
+from repro.euler import (AMRMeshComponent, DriverParams, EFMFluxComponent,
+                         GodunovFluxComponent, InviscidFluxComponent,
+                         RK2Component, ShockDriver, StatesComponent)
+from repro.euler.eos import GAMMA_DEFAULT
+from repro.harness.visualization import ascii_field, assemble_level_field, field_to_csv
+from repro.euler.setup import P0, RHO_AIR
+
+
+def build(params, flux_cls):
+    fw = Framework()
+    fw.create("states", StatesComponent)
+    fw.create("flux", flux_cls)
+    fw.create("inviscid", InviscidFluxComponent)
+    fw.create("rk2", RK2Component)
+    fw.create("mesh", AMRMeshComponent, params=params)
+    fw.create("driver", ShockDriver, params=params)
+    fw.connect("inviscid", "states", "states", "states")
+    fw.connect("inviscid", "flux", "flux", "flux")
+    fw.connect("rk2", "mesh", "mesh", "mesh")
+    fw.connect("rk2", "rhs", "inviscid", "rhs")
+    fw.connect("driver", "mesh", "mesh", "mesh")
+    fw.connect("driver", "integrator", "rk2", "integrator")
+    return fw
+
+
+def shock_position(hierarchy) -> float:
+    """x of the steepest density gradient along the mid-y row (level 0)."""
+    data = assemble_level_field(hierarchy, "rho", 0)
+    row = data[data.shape[0] // 2, :]
+    grad = np.abs(np.diff(row))
+    j = int(np.argmax(grad))
+    dx, _ = hierarchy.dx(0)
+    return (j + 1.0) * dx  # cell-face position
+
+
+@pytest.mark.parametrize("flux_cls", [EFMFluxComponent, GodunovFluxComponent])
+def test_shock_speed_matches_rankine_hugoniot(flux_cls):
+    """A pure shock (no interface) must travel at M*c0 within a few %."""
+    mach = 1.5
+    params = DriverParams(
+        nx=128, ny=8, max_levels=1, steps=10, cfl=0.4,
+        mach=mach, shock_x=0.25,
+        interface_x=2.0,          # interface outside the domain
+        density_ratio=1.0,        # no second gas
+        regrid_every=0, blocks=(1, 2),
+    )
+    fw = build(params, flux_cls)
+    assert fw.go("driver") == 0
+    h = fw.component("mesh").hierarchy()
+    driver = fw.component("driver")
+    elapsed = sum(driver.dt_history)
+
+    c0 = np.sqrt(GAMMA_DEFAULT * P0 / RHO_AIR)
+    predicted = params.shock_x + mach * c0 * elapsed
+    measured = shock_position(h)
+    dx, _ = h.dx(0)
+    # within 3 cells + 5% (captured shocks are 2-3 cells wide)
+    assert measured == pytest.approx(predicted, abs=3 * dx + 0.05 * predicted)
+
+
+def test_post_shock_state_realized_on_grid():
+    """Density/pressure behind the traveling shock match RH values."""
+    params = DriverParams(nx=128, ny=8, max_levels=1, steps=8, mach=1.5,
+                          shock_x=0.3, interface_x=2.0, density_ratio=1.0,
+                          regrid_every=0, blocks=(1, 2))
+    fw = build(params, GodunovFluxComponent)
+    fw.go("driver")
+    h = fw.component("mesh").hierarchy()
+    rho = assemble_level_field(h, "rho", 0)
+    mid = rho[rho.shape[0] // 2, :]
+    from repro.euler.setup import post_shock_state
+
+    # Probe halfway between the initial shock position and the current
+    # front: cells shocked *during* the run, not by the initial condition.
+    elapsed = sum(fw.component("driver").dt_history)
+    c0 = np.sqrt(GAMMA_DEFAULT * P0 / RHO_AIR)
+    front = params.shock_x + 1.5 * c0 * elapsed
+    x_probe = params.shock_x + 0.5 * (front - params.shock_x)
+    dx, _ = h.dx(0)
+    j_probe = int(x_probe / dx)
+    rho2, _u2, _p2 = post_shock_state(1.5)
+    assert mid[j_probe] == pytest.approx(rho2, rel=0.08)
+
+
+class TestVisualization:
+    @pytest.fixture
+    def hierarchy(self, tiny_params):
+        fw = build(tiny_params, EFMFluxComponent)
+        fw.go("driver")
+        return fw.component("mesh").hierarchy()
+
+    def test_assemble_level_field_complete_serial(self, hierarchy):
+        data = assemble_level_field(hierarchy, "rho", 0)
+        assert data.shape == hierarchy.level_box(0).shape
+        assert np.isfinite(data).all()
+
+    def test_ascii_field_shapes_and_markers(self, hierarchy):
+        text = ascii_field(hierarchy, width=32, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 32 for line in lines)
+        if hierarchy.levels[1]:
+            assert "&" in text
+
+    def test_ascii_field_no_overlay(self, hierarchy):
+        text = ascii_field(hierarchy, show_refinement=False)
+        assert "&" not in text
+
+    def test_field_to_csv(self, tmp_path, hierarchy):
+        path = tmp_path / "rho.csv"
+        field_to_csv(hierarchy, "rho", str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,y,value"
+        assert len(lines) - 1 == hierarchy.total_cells(0)
+
+    def test_invalid_dimensions(self, hierarchy):
+        with pytest.raises(ValueError):
+            ascii_field(hierarchy, width=0)

@@ -1,0 +1,55 @@
+"""Smoke-run the shipped examples (small arguments, subprocess)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    path = os.path.join(EXAMPLES, name)
+    proc = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "FUNCTION SUMMARY" in out
+    assert "fitted performance model" in out
+    assert "predicted mean time" in out
+
+
+def test_shock_interface_small():
+    out = run_example("shock_interface.py", "--steps", "2", "--nx", "32")
+    assert "Figure 3 analog" in out
+    assert "Figure 9 analog" in out
+    assert "Figure 1 analog" in out
+    assert "patches per level" in out
+
+
+def test_performance_modeling_small():
+    out = run_example("performance_modeling.py", "--points", "4",
+                      "--qmax", "20000", "--repeats", "2")
+    assert "strided/sequential" in out
+    assert "Eq.1 analog" in out
+    assert "paper's form" in out
+
+
+def test_heat_reuse_is_listed():
+    # heat_reuse takes ~20-60 s; keep it out of the default suite but
+    # verify the file exists and parses.
+    path = os.path.join(EXAMPLES, "heat_reuse.py")
+    compile(open(path).read(), path, "exec")
+
+
+def test_remaining_examples_parse():
+    for name in ("assembly_optimization.py", "online_monitoring.py"):
+        path = os.path.join(EXAMPLES, name)
+        compile(open(path).read(), path, "exec")

@@ -1,0 +1,102 @@
+"""Harness figure result objects and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import (Fig4Result, Fig5Result, ModelFigResult,
+                                   qos_flip_weight)
+from repro.harness.report import PAPER_CLAIMS, ReportScale
+from repro.harness.sweeps import SweepSamples
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel, build_model
+from repro.perf.optimizer import OptimizationResult, RankedAssembly
+
+
+def make_samples():
+    s = SweepSamples()
+    for proc in range(2):
+        for q, tx, ty in [(100, 10.0, 11.0), (400, 30.0, 45.0)]:
+            s.add(q, "x", proc, tx)
+            s.add(q, "y", proc, ty)
+    return s
+
+
+class TestFig4Result:
+    def test_mode_means(self):
+        res = Fig4Result(samples=make_samples(), nprocs=2)
+        mm = res.mode_means()
+        assert np.array_equal(mm["x"][0], [100.0, 400.0])
+        assert np.allclose(mm["x"][1], [10.0, 30.0])
+        assert np.allclose(mm["y"][1], [11.0, 45.0])
+
+    def test_render_has_both_modes(self):
+        text = Fig4Result(samples=make_samples(), nprocs=2).render()
+        assert "sequential" in text and "strided" in text
+
+
+class TestFig5Result:
+    def test_render(self):
+        res = Fig5Result(q=np.array([100.0]), ratio=np.array([1.5]))
+        assert "1.50" in res.render()
+
+
+class TestModelFigResult:
+    def test_render_contains_equations(self):
+        q = [100.0, 100.0, 400.0, 400.0, 900.0, 900.0]
+        t = [10.0, 12.0, 41.0, 39.0, 88.0, 92.0]
+        model = build_model("X", q, t, mean_families=("linear",))
+        qb = np.array([100.0, 400.0, 900.0])
+        res = ModelFigResult(name="X", samples=SweepSamples(), q_bins=qb,
+                             mean_us=np.array([11.0, 40.0, 90.0]),
+                             std_us=np.array([1.0, 1.0, 2.0]), model=model)
+        text = res.render()
+        assert "Eq.1 analog" in text and "Eq.2 analog" in text
+        assert "X: execution time" in text
+
+
+def ranked(name, cost, quality):
+    model = PerformanceModel(name, fit_linear([0, 1], [cost, cost]),
+                             quality=quality)
+    return RankedAssembly(binding={"flux": model}, cost_us=cost,
+                          quality=quality, score=cost)
+
+
+class TestQosFlipWeight:
+    def test_flip_weight_formula(self):
+        plain = OptimizationResult(
+            best=ranked("cheap", 1000.0, 0.85),
+            ranked=[ranked("cheap", 1000.0, 0.85),
+                    ranked("accurate", 2000.0, 1.0)],
+        )
+        w = qos_flip_weight(plain)
+        # cost_b(1 + w*0.15) = cost_o  ->  w = 1000/150
+        assert w == pytest.approx(1000.0 / 150.0)
+
+    def test_no_flip_when_winner_has_max_quality(self):
+        plain = OptimizationResult(
+            best=ranked("best", 1000.0, 1.0),
+            ranked=[ranked("best", 1000.0, 1.0),
+                    ranked("worse", 2000.0, 0.5)],
+        )
+        assert qos_flip_weight(plain) is None
+
+    def test_single_candidate_no_flip(self):
+        plain = OptimizationResult(best=ranked("only", 1.0, 0.9),
+                                   ranked=[ranked("only", 1.0, 0.9)])
+        assert qos_flip_weight(plain) is None
+
+
+class TestReportScale:
+    def test_fast_scale_is_smaller(self):
+        full, fast = ReportScale(), ReportScale.fast()
+        assert fast.qmax < full.qmax
+        assert fast.steps <= full.steps
+
+    def test_case_config_propagates(self):
+        cfg = ReportScale(nx=40, steps=8).case_config("godunov")
+        assert cfg.params.nx == 40
+        assert cfg.params.steps == 8
+        assert cfg.flux == "godunov"
+
+    def test_paper_claims_cover_all_figures(self):
+        assert set(PAPER_CLAIMS) == {f"fig{i}" for i in range(3, 11)}

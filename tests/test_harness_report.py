@@ -1,0 +1,47 @@
+"""End-to-end EXPERIMENTS.md generation at micro scale."""
+
+import os
+
+import pytest
+
+from repro.harness.report import PAPER_CLAIMS, ReportScale, write_experiments_md
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("report") / "EXPERIMENTS.md"
+    scale = ReportScale(q_points=4, qmax=20_000, repeats=2, nprocs=1,
+                        steps=4, nx=32, ny=32, max_levels=2)
+    text = write_experiments_md(str(path), scale=scale)
+    return path, text
+
+
+def test_report_file_written(report):
+    path, text = report
+    assert os.path.exists(path)
+    assert open(path).read() == text
+
+
+def test_every_figure_has_a_section(report):
+    _, text = report
+    for fig in range(3, 11):
+        assert f"## Figure {fig}" in text, f"missing section for Figure {fig}"
+
+
+def test_every_section_has_paper_and_measured(report):
+    _, text = report
+    assert text.count("**Paper:**") == len(PAPER_CLAIMS)
+    assert text.count("**Measured:**") == len(PAPER_CLAIMS)
+    assert text.count("**Shape check:**") == len(PAPER_CLAIMS)
+
+
+def test_report_contains_equation_analogs(report):
+    _, text = report
+    assert "Eq.1 analog" in text
+    assert "Eq.2 analog" in text
+
+
+def test_report_mentions_selection_outcomes(report):
+    _, text = report
+    assert "cost pick" in text
+    assert "QoS pick" in text

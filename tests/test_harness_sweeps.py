@@ -1,0 +1,92 @@
+"""Workload generators and mode sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.euler.eos import pressure
+from repro.harness.sweeps import (SweepSamples, measure_mode_sweep, q_grid,
+                                  synthetic_patch_stack, time_call)
+
+
+class TestQGrid:
+    def test_values_are_squares_and_sorted(self):
+        qs = q_grid(6, 1000, 100_000)
+        assert qs == sorted(qs)
+        for q in qs:
+            side = int(round(q**0.5))
+            assert side * side == q
+
+    def test_range_respected(self):
+        qs = q_grid(8, 2000, 50_000)
+        assert qs[0] >= 1000  # rounding of sqrt can slightly undershoot
+        assert qs[-1] <= 55_000
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            q_grid(0)
+        with pytest.raises(ValueError):
+            q_grid(5, 100, 50)
+
+
+class TestSyntheticStack:
+    def test_shape_and_physicality(self):
+        U = synthetic_patch_stack(10_000, nghost=2)
+        side = int(round(10_000**0.5))
+        assert U.shape == (4, side + 4, side + 4)
+        assert (U[0] > 0).all()
+        assert (pressure(U) > 0).all()
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_patch_stack(5000, seed=3)
+        b = synthetic_patch_stack(5000, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_data_varies(self):
+        U = synthetic_patch_stack(5000, seed=0)
+        assert U[0].std() > 0.1  # contains the contact/shock structure
+
+
+class TestSweepSamples:
+    def _samples(self):
+        s = SweepSamples()
+        s.add(100, "x", 0, 10.0)
+        s.add(100, "y", 0, 20.0)
+        s.add(400, "x", 1, 30.0)
+        return s
+
+    def test_select_by_mode(self):
+        q, t = self._samples().select(mode="x")
+        assert list(q) == [100.0, 400.0]
+        assert list(t) == [10.0, 30.0]
+
+    def test_select_by_proc(self):
+        q, t = self._samples().select(proc=1)
+        assert list(q) == [400.0]
+
+    def test_mode_averaged_pools_everything(self):
+        q, t = self._samples().mode_averaged()
+        assert len(q) == 3
+
+    def test_len(self):
+        assert len(self._samples()) == 3
+
+
+def test_time_call_measures_something():
+    out = time_call(lambda: sum(range(10_000)))
+    assert out > 0
+
+
+def test_measure_mode_sweep_structure():
+    calls = []
+
+    def invoke(U, mode):
+        calls.append((U.shape, mode))
+
+    samples = measure_mode_sweep(invoke, qs=[1024, 4096], nprocs=2, repeats=2)
+    # 2 procs x 2 Qs x 2 repeats x 2 modes
+    assert len(samples) == 16
+    assert set(samples.mode) == {"x", "y"}
+    assert set(samples.proc) == {0, 1}
+    assert all(t >= 0 for t in samples.time_us)
+    # warmup adds one extra "x" call
+    assert len(calls) == 17

@@ -1,0 +1,36 @@
+"""Every module imports cleanly and every ``__all__`` name resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(repro.__path__, "repro.")
+)
+
+
+def test_package_has_expected_breadth():
+    assert len(MODULES) > 40, MODULES
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [m for m in MODULES if m.count(".") == 1],  # subpackage __init__ modules
+)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_version_exposed():
+    assert repro.__version__

@@ -1,0 +1,142 @@
+"""Regression fit families (Eqs. 1-2 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.fits import (FIT_FAMILIES, fit_constant, fit_exponential,
+                               fit_family, fit_linear, fit_polynomial,
+                               fit_power_law, select_best)
+
+
+@pytest.fixture
+def q():
+    return np.array([1e3, 3e3, 1e4, 3e4, 1e5, 1.5e5])
+
+
+class TestExactRecovery:
+    def test_linear(self, q):
+        t = -963.0 + 0.315 * q  # the paper's T_Godunov
+        fit = fit_linear(q, t)
+        assert fit.coeffs[0] == pytest.approx(-963.0, rel=1e-9)
+        assert fit.coeffs[1] == pytest.approx(0.315, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+        assert np.allclose(fit.predict(q), t)
+
+    def test_power_law(self, q):
+        t = np.exp(1.19 * np.log(q) - 3.68)  # the paper's T_States
+        fit = fit_power_law(q, t)
+        assert fit.coeffs[1] == pytest.approx(1.19, rel=1e-9)  # exponent
+        assert fit.coeffs[0] == pytest.approx(-3.68, rel=1e-9)
+        assert float(fit.predict(1e4)) == pytest.approx(np.exp(1.19 * np.log(1e4) - 3.68))
+
+    def test_exponential(self, q):
+        t = np.exp(1.29 + 2e-5 * q)  # sigma_States form
+        fit = fit_exponential(q, t)
+        assert fit.coeffs[0] == pytest.approx(1.29, rel=1e-6)
+        assert fit.coeffs[1] == pytest.approx(2e-5, rel=1e-6)
+
+    def test_quartic(self, q):
+        coeffs = (66.7, -0.015, 9.24e-8, -1.12e-12, 3.85e-18)
+        t = sum(c * q**i for i, c in enumerate(coeffs))
+        fit = fit_polynomial(q, t, 4)
+        assert np.allclose(fit.predict(q), t, rtol=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_constant(self, q):
+        fit = fit_constant(q, np.full_like(q, 7.0))
+        assert fit.coeffs == (7.0,)
+        assert float(fit.predict(123.0)) == 7.0
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_power_law_requires_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, -1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1, 2], [1, 1, 2])
+
+    def test_exponential_requires_positive_t(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2, 3], [1, 0, 2])
+
+    def test_polynomial_degree_bounds(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2, 3], [1, 2, 3], 0)
+        with pytest.raises(ValueError):
+            fit_polynomial([1, 2], [1, 2], 4)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown fit family"):
+            fit_family("spline", [1, 2], [1, 2])
+
+
+class TestSelection:
+    def test_select_prefers_true_form_linear(self, q):
+        rng = np.random.default_rng(0)
+        t = 100.0 + 0.3 * q + rng.normal(0, 1.0, q.size)
+        best = select_best(q, t, families=("linear", "power", "exponential"))
+        assert best.family == "linear"
+
+    def test_select_prefers_true_form_power(self, q):
+        rng = np.random.default_rng(0)
+        t = np.exp(1.5 * np.log(q) - 2.0) * rng.lognormal(0, 0.01, q.size)
+        best = select_best(q, t, families=("linear", "power"))
+        assert best.family == "power"
+
+    def test_select_skips_failing_families(self, q):
+        t = -963.0 + 0.315 * q  # negative values: power/exp fits fail
+        best = select_best(q, t, families=("power", "exponential", "linear"))
+        assert best.family == "linear"
+
+    def test_select_all_fail(self):
+        with pytest.raises(ValueError, match="no fit family succeeded"):
+            select_best([1, 2, 3], [-1, -2, -3], families=("power",))
+
+    def test_all_registered_families_run(self, q):
+        t = 1.0 + 0.01 * q
+        for fam in FIT_FAMILIES:
+            fit = fit_family(fam, q, t)
+            assert np.all(np.isfinite(np.atleast_1d(fit.predict(q))))
+
+
+class TestModelFitAPI:
+    def test_scalar_in_scalar_out(self, q):
+        fit = fit_linear(q, 2 * q)
+        out = fit.predict(10.0)
+        assert isinstance(out, float)
+
+    def test_array_in_array_out(self, q):
+        fit = fit_linear(q, 2 * q)
+        out = fit.predict([10.0, 20.0])
+        assert isinstance(out, np.ndarray) and out.shape == (2,)
+
+    def test_formula_and_str(self, q):
+        fit = fit_linear(q, 2 * q)
+        assert "Q" in fit.formula
+        assert "R^2" in str(fit)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.floats(-100, 100),
+    b=st.floats(-0.5, 0.5),
+    noise=st.floats(0, 0.1),
+    seed=st.integers(0, 1000),
+)
+def test_linear_recovery_under_noise(a, b, noise, seed):
+    rng = np.random.default_rng(seed)
+    q = np.linspace(1, 1000, 30)
+    t = a + b * q + rng.normal(0, noise, q.size)
+    fit = fit_linear(q, t)
+    # Slope recovered within noise-scaled tolerance.
+    assert fit.coeffs[1] == pytest.approx(b, abs=max(1e-9, 5 * noise))

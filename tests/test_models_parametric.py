@@ -1,0 +1,124 @@
+"""Cache-parameterized model retargeting (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.models.fits import fit_linear
+from repro.models.parametric import CacheScaledModel, fit_miss_penalty
+from repro.models.performance import PerformanceModel
+from repro.tau.hardware import AccessPattern, CacheModel
+
+
+@pytest.fixture
+def base_model():
+    return PerformanceModel(
+        "comp",
+        fit_linear([0.0, 1.0], [100.0, 100.2]),  # T = 100 + 0.2 Q
+        std_fit=fit_linear([0.0, 1.0], [10.0, 10.0]),
+    )
+
+
+@pytest.fixture
+def cal_cache():
+    return CacheModel(capacity_bytes=512 * 1024)
+
+
+def make_scaled(base_model, cal_cache, penalty=2.0):
+    return CacheScaledModel(
+        base=base_model,
+        calibration_cache=cal_cache,
+        pattern=AccessPattern.STRIDED,
+        stride_elements=64,
+        passes=3,
+        miss_penalty=penalty,
+    )
+
+
+class TestCacheScaledModel:
+    def test_no_target_is_identity(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache)
+        q = 10_000.0
+        assert m.predict_mean(q) == base_model.predict_mean(q)
+
+    def test_same_cache_factor_is_one(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache)
+        assert m.scale_factor(cal_cache, 10_000.0) == pytest.approx(1.0)
+
+    def test_halved_cache_slows_mid_sizes(self, base_model, cal_cache):
+        """Coefficients shift with cache capacity (the paper's claim)."""
+        m = make_scaled(base_model, cal_cache)
+        half = CacheModel(capacity_bytes=256 * 1024)
+        # 40k doubles = 320kB: resident at 512kB, busting at 256kB.
+        q = 40_000.0
+        assert m.scale_factor(half, q) > 1.0
+        assert m.predict_mean(q, half) > m.predict_mean(q)
+        assert m.predict_std(q, half) > m.predict_std(q)
+
+    def test_bigger_cache_speeds_up(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache)
+        big = CacheModel(capacity_bytes=8 * 1024 * 1024)
+        # 100k doubles: busting at 512kB, resident at 8MB.
+        assert m.scale_factor(big, 100_000.0) < 1.0
+
+    def test_tiny_arrays_unaffected(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache)
+        half = CacheModel(capacity_bytes=256 * 1024)
+        # 1000 doubles resident in both -> identical miss ratios.
+        assert m.scale_factor(half, 1_000.0) == pytest.approx(1.0)
+
+    def test_vector_q(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache)
+        half = CacheModel(capacity_bytes=256 * 1024)
+        factors = m.scale_factor(half, np.array([1_000.0, 40_000.0]))
+        assert factors.shape == (2,)
+        assert factors[1] > factors[0]
+
+    def test_zero_penalty_compute_bound(self, base_model, cal_cache):
+        m = make_scaled(base_model, cal_cache, penalty=0.0)
+        half = CacheModel(capacity_bytes=256 * 1024)
+        assert m.scale_factor(half, 40_000.0) == pytest.approx(1.0)
+
+    def test_negative_penalty_rejected(self, base_model, cal_cache):
+        with pytest.raises(ValueError):
+            make_scaled(base_model, cal_cache, penalty=-1.0)
+
+
+class TestFitMissPenalty:
+    def test_recovers_synthetic_penalty(self):
+        cache = CacheModel(capacity_bytes=512 * 1024)
+        q = np.array([1_000, 20_000, 80_000, 200_000], dtype=float)
+        true_penalty = 3.0
+        dm = np.array([
+            cache.miss_ratio(int(x), pattern=AccessPattern.STRIDED,
+                             stride_elements=64, passes=2)
+            - cache.miss_ratio(int(x), passes=2)
+            for x in q
+        ])
+        t_seq = 10.0 + 0.1 * q
+        t_str = t_seq * (1.0 + true_penalty * dm)
+        est = fit_miss_penalty(q, t_seq, t_str, cache, stride_elements=64)
+        assert est == pytest.approx(true_penalty, rel=1e-6)
+
+    def test_no_difference_gives_zero(self):
+        cache = CacheModel(capacity_bytes=1 << 30)  # everything resident
+        q = np.array([100.0, 200.0])
+        t = np.array([1.0, 2.0])
+        # Resident strided vs sequential still differ in the model (strided
+        # misses per access on first pass); use stride below a line so the
+        # patterns coincide and dm == 0.
+        est = fit_miss_penalty(q, t, t, cache, stride_elements=1)
+        assert est == 0.0
+
+    def test_shape_and_positivity_checks(self):
+        cache = CacheModel()
+        with pytest.raises(ValueError):
+            fit_miss_penalty([1, 2], [1.0], [1.0, 2.0], cache, 64)
+        with pytest.raises(ValueError):
+            fit_miss_penalty([1, 2], [0.0, 1.0], [1.0, 2.0], cache, 64)
+
+    def test_penalty_clamped_non_negative(self):
+        cache = CacheModel(capacity_bytes=1024)
+        q = np.array([10_000.0, 20_000.0])
+        t_seq = np.array([100.0, 200.0])
+        t_str = np.array([50.0, 100.0])  # strided 'faster': noise artifact
+        assert fit_miss_penalty(q, t_seq, t_str, cache, 64) == 0.0

@@ -1,0 +1,167 @@
+"""PerformanceModel construction and composite evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.models.composite import CompositeModel, Workload
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel, bin_by_q, build_model
+
+
+class TestBinByQ:
+    def test_groups_and_stats(self):
+        q = [10, 10, 10, 20, 20]
+        t = [1.0, 2.0, 3.0, 10.0, 10.0]
+        qb, mean, std, n = bin_by_q(q, t)
+        assert np.array_equal(qb, [10.0, 20.0])
+        assert mean[0] == pytest.approx(2.0)
+        assert std[0] == pytest.approx(np.std([1, 2, 3]))
+        assert std[1] == 0.0
+        assert list(n) == [3, 2]
+
+    def test_min_count_filters(self):
+        qb, mean, _s, _n = bin_by_q([1, 1, 2], [1.0, 2.0, 9.0], min_count=2)
+        assert np.array_equal(qb, [1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bin_by_q([1, 2], [1.0])
+
+
+class TestBuildModel:
+    def _samples(self, sigma=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        qs = np.repeat([1e3, 5e3, 2e4, 8e4], 6)
+        t = 50.0 + 0.2 * qs + rng.normal(0, sigma * (1 + qs / 1e4), qs.size)
+        return qs, t
+
+    def test_linear_data_fit(self):
+        qs, t = self._samples()
+        m = build_model("comp", qs, t, mean_families=("linear",))
+        assert m.mean_fit.family == "linear"
+        assert float(m.predict_mean(4e4)) == pytest.approx(50.0 + 0.2 * 4e4, rel=1e-6)
+
+    def test_std_model_built_when_variance_present(self):
+        qs, t = self._samples(sigma=5.0)
+        m = build_model("comp", qs, t)
+        assert m.std_fit is not None
+        assert float(m.predict_std(1e4)) >= 0.0
+
+    def test_no_std_model_for_deterministic_data(self):
+        qs, t = self._samples(sigma=0.0)
+        m = build_model("comp", qs, t)
+        assert m.std_fit is None
+        assert m.predict_std(1e3) == 0.0
+
+    def test_predict_std_clamped_non_negative(self):
+        m = PerformanceModel(
+            "x", fit_linear([1, 2], [1, 2]), std_fit=fit_linear([1, 2], [1.0, -5.0])
+        )
+        assert m.predict_std(100.0) == 0.0
+        assert np.all(m.predict_std(np.array([100.0, 200.0])) >= 0.0)
+
+    def test_insufficient_bins_rejected(self):
+        with pytest.raises(ValueError, match="Q bins"):
+            build_model("x", [1, 1, 1], [1.0, 2.0, 3.0])
+
+    def test_context_matching(self):
+        m = build_model("x", [1, 1, 2, 2], [1.0, 1.0, 2.0, 2.0],
+                        mean_families=("linear",),
+                        context={"cache_bytes": 512 * 1024})
+        assert m.context_matches({"cache_bytes": 512 * 1024, "other": 1})
+        assert not m.context_matches({"cache_bytes": 256 * 1024})
+
+    def test_quality_carried(self):
+        m = build_model("x", [1, 1, 2, 2], [1.0, 1.0, 2.0, 2.0],
+                        mean_families=("linear",), quality=0.85)
+        assert m.quality == 0.85
+
+    def test_describe(self):
+        m = build_model("x", [1, 1, 2, 2], [1.0, 1.0, 2.0, 2.0],
+                        mean_families=("linear",))
+        assert "PerformanceModel[x]" in m.describe()
+
+
+def linear_model(name, a, b, quality=1.0):
+    q = np.array([0.0, 1.0])
+    return PerformanceModel(name, fit_linear(q, a + b * q), quality=quality)
+
+
+class TestWorkload:
+    def test_from_samples(self):
+        w = Workload.from_samples([5, 5, 10])
+        assert w.q_values == (5.0, 10.0)
+        assert w.counts == (2, 1)
+        assert w.total_invocations == 3
+
+    def test_expected_cost(self):
+        w = Workload((10.0, 100.0), (2, 1))
+        m = linear_model("m", 1.0, 1.0)  # T = 1 + Q
+        assert w.expected_cost(m) == pytest.approx(2 * 11.0 + 101.0)
+
+    def test_cost_std_adds_variances(self):
+        m = PerformanceModel(
+            "m", fit_linear([0, 1], [0, 0]), std_fit=fit_linear([0, 1], [3.0, 3.0])
+        )
+        w = Workload((1.0,), (4,))
+        assert w.cost_std(m) == pytest.approx(6.0)  # sqrt(4*9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload((1.0,), (1, 2))
+        with pytest.raises(ValueError):
+            Workload((1.0,), (-1,))
+
+    def test_empty_workload_costs_zero(self):
+        w = Workload((), ())
+        assert w.expected_cost(linear_model("m", 5.0, 0.0)) == 0.0
+
+
+class TestCompositeModel:
+    def test_evaluate_bound_nodes(self):
+        c = CompositeModel()
+        c.add_node("a", Workload((10.0,), (1,)), model=linear_model("ma", 0.0, 2.0))
+        c.add_node("b", Workload((10.0,), (3,)), model=linear_model("mb", 5.0, 0.0),
+                   comm_us=100.0)
+        total, breakdown = c.evaluate()
+        assert total == pytest.approx(20.0 + 15.0 + 100.0)
+        assert {sc.node for sc in breakdown} == {"a", "b"}
+
+    def test_free_slot_requires_binding(self):
+        c = CompositeModel()
+        c.add_node("flux", Workload((10.0,), (1,)), slot="flux")
+        with pytest.raises(KeyError, match="binding for slot"):
+            c.evaluate()
+        total, _ = c.evaluate({"flux": linear_model("m", 0.0, 1.0)})
+        assert total == pytest.approx(10.0)
+
+    def test_node_validation(self):
+        c = CompositeModel()
+        with pytest.raises(ValueError, match="exactly one"):
+            c.add_node("x", Workload((), ()))
+        with pytest.raises(ValueError, match="exactly one"):
+            c.add_node("x", Workload((), ()), model=linear_model("m", 0, 1), slot="s")
+        c.add_node("x", Workload((), ()), slot="s")
+        with pytest.raises(ValueError, match="already present"):
+            c.add_node("x", Workload((), ()), slot="s")
+
+    def test_edges_validated(self):
+        c = CompositeModel()
+        c.add_node("a", Workload((), ()), slot="s")
+        with pytest.raises(KeyError):
+            c.add_edge("a", "ghost", 1)
+        c.add_node("b", Workload((), ()), slot="s")
+        c.add_edge("a", "b", 3)
+        assert c.edges() == [("a", "b", 3)]
+
+    def test_insignificant_nodes(self):
+        c = CompositeModel()
+        c.add_node("big", Workload((100.0,), (100,)), model=linear_model("m", 0, 1))
+        c.add_node("tiny", Workload((1.0,), (1,)), model=linear_model("m", 0, 0.001))
+        assert c.insignificant_nodes(fraction=0.01) == ["tiny"]
+
+    def test_free_slots_listing(self):
+        c = CompositeModel()
+        c.add_node("a", Workload((), ()), slot="flux")
+        c.add_node("b", Workload((), ()), slot="flux")
+        assert c.free_slots() == {"flux": ["a", "b"]}

@@ -1,0 +1,99 @@
+"""Per-mode performance models (the mode-mixing refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel, build_model
+from repro.models.permode import (ModalPerformanceModel, build_modal_model,
+                                  variance_explained)
+from repro.perf.records import InvocationRecord, MethodRecord
+from repro.tau.query import InvocationMeasurement
+
+
+def linear_model(name, a, b):
+    return PerformanceModel(name, fit_linear([0.0, 1.0], [a, a + b]))
+
+
+def synthetic_record(slope_x=0.1, slope_y=0.4, n_per=4) -> MethodRecord:
+    """Dual-mode record: mode y costs more per element (the cache story)."""
+    rec = MethodRecord("sc_proxy", "compute")
+    for q in (1_000, 4_000, 16_000, 64_000):
+        for _ in range(n_per):
+            for mode, slope in (("x", slope_x), ("y", slope_y)):
+                rec.add(InvocationRecord(
+                    params={"Q": q, "mode": mode},
+                    measurement=InvocationMeasurement(
+                        wall_us=50.0 + slope * q, mpi_us=0.0),
+                ))
+    return rec
+
+
+class TestModalModel:
+    def test_dispatch_by_mode(self):
+        m = ModalPerformanceModel("m", {
+            "x": linear_model("x", 0.0, 1.0),
+            "y": linear_model("y", 0.0, 3.0),
+        })
+        assert m.predict_mean(10.0, "x") == pytest.approx(10.0)
+        assert m.predict_mean(10.0, "y") == pytest.approx(30.0)
+
+    def test_no_mode_averages(self):
+        m = ModalPerformanceModel("m", {
+            "x": linear_model("x", 0.0, 1.0),
+            "y": linear_model("y", 0.0, 3.0),
+        })
+        assert m.predict_mean(10.0) == pytest.approx(20.0)
+
+    def test_mode_ratio(self):
+        m = ModalPerformanceModel("m", {
+            "x": linear_model("x", 0.0, 1.0),
+            "y": linear_model("y", 0.0, 4.0),
+        })
+        assert float(m.mode_ratio(100.0)) == pytest.approx(4.0)
+
+    def test_unknown_mode_rejected(self):
+        m = ModalPerformanceModel("m", {"x": linear_model("x", 0, 1)})
+        with pytest.raises(KeyError, match="no model for mode"):
+            m.predict_mean(1.0, "z")
+
+    def test_empty_mode_map_rejected(self):
+        with pytest.raises(ValueError):
+            ModalPerformanceModel("m", {})
+
+    def test_predict_std_rms_over_modes(self):
+        std3 = PerformanceModel("a", fit_linear([0, 1], [0, 0]),
+                                std_fit=fit_linear([0, 1], [3.0, 3.0]))
+        std4 = PerformanceModel("b", fit_linear([0, 1], [0, 0]),
+                                std_fit=fit_linear([0, 1], [4.0, 4.0]))
+        m = ModalPerformanceModel("m", {"x": std3, "y": std4})
+        # rms of (3, 4) = sqrt(12.5)
+        assert m.predict_std(1.0) == pytest.approx(np.sqrt(12.5))
+
+
+class TestBuildModal:
+    def test_fits_each_mode(self):
+        rec = synthetic_record()
+        modal = build_modal_model(rec, mean_families=("linear",))
+        assert modal.modes == ["x", "y"]
+        assert float(modal.predict_mean(10_000, "y")) > \
+            float(modal.predict_mean(10_000, "x"))
+        # recovered slopes match the synthetic generator
+        assert modal.model_for("x").mean_fit.coeffs[1] == pytest.approx(0.1, rel=1e-6)
+        assert modal.model_for("y").mean_fit.coeffs[1] == pytest.approx(0.4, rel=1e-6)
+
+    def test_missing_mode_param_rejected(self):
+        rec = MethodRecord("x", "f")
+        rec.add(InvocationRecord(params={"Q": 10},
+                                 measurement=InvocationMeasurement(1.0, 0.0)))
+        with pytest.raises(ValueError, match="no 'mode' parameter"):
+            build_modal_model(rec)
+
+    def test_modal_model_explains_mode_variance(self):
+        """The headline: mode-aware residuals are far below pooled ones."""
+        rec = synthetic_record()
+        modal = build_modal_model(rec, mean_families=("linear",))
+        pooled = build_model("pooled", rec.param_series("Q"),
+                             rec.wall_series(), mean_families=("linear",))
+        rms_pooled, rms_modal = variance_explained(rec, modal, pooled)
+        assert rms_modal < 0.1 * rms_pooled

@@ -1,0 +1,110 @@
+"""Model serialization and the model repository."""
+
+import numpy as np
+import pytest
+
+from repro.models.fits import (fit_exponential, fit_linear, fit_polynomial,
+                               fit_power_law, fit_constant)
+from repro.models.performance import PerformanceModel, build_model
+from repro.models.serialize import (ModelRepository, fit_from_dict,
+                                    fit_to_dict, model_from_dict,
+                                    model_to_dict)
+
+Q = np.array([1e3, 5e3, 2e4, 8e4])
+
+
+@pytest.mark.parametrize("fit_fn,t", [
+    (fit_linear, 10.0 + 0.3 * Q),
+    (fit_power_law, np.exp(1.2 * np.log(Q) - 3.0)),
+    (fit_exponential, np.exp(1.0 + 1e-5 * Q)),
+    (lambda q, t: fit_polynomial(q, t, 2), 5.0 + 0.1 * Q + 1e-7 * Q**2),
+    (fit_constant, np.full_like(Q, 7.0)),
+])
+def test_fit_roundtrip_preserves_predictions(fit_fn, t):
+    fit = fit_fn(Q, t)
+    rebuilt = fit_from_dict(fit_to_dict(fit))
+    x = np.array([2e3, 4e4, 1.2e5])
+    assert np.allclose(rebuilt.predict(x), fit.predict(x), rtol=1e-12)
+    assert rebuilt.family == fit.family
+    assert rebuilt.coeffs == fit.coeffs
+    assert rebuilt.r2 == pytest.approx(fit.r2)
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown model family"):
+        fit_from_dict({"family": "spline", "coeffs": [1.0]})
+
+
+def make_model(name="comp", quality=0.85):
+    rng = np.random.default_rng(0)
+    q = np.repeat(Q, 4)
+    t = 10.0 + 0.3 * q + rng.normal(0, 5.0 + q * 1e-3, q.size)
+    return build_model(name, q, t, mean_families=("linear",),
+                       quality=quality, context={"cache_bytes": 512 * 1024})
+
+
+class TestModelRoundtrip:
+    def test_full_model(self):
+        model = make_model()
+        rebuilt = model_from_dict(model_to_dict(model))
+        x = np.array([3e3, 6e4])
+        assert np.allclose(rebuilt.predict_mean(x), model.predict_mean(x))
+        assert np.allclose(rebuilt.predict_std(x), model.predict_std(x))
+        assert rebuilt.quality == model.quality
+        assert rebuilt.context == dict(model.context)
+
+    def test_model_without_std(self):
+        model = PerformanceModel("m", fit_linear(Q, 2 * Q))
+        rebuilt = model_from_dict(model_to_dict(model))
+        assert rebuilt.std_fit is None
+        assert rebuilt.predict_std(1e4) == 0.0
+
+
+class TestRepository:
+    def test_store_and_load(self, tmp_path):
+        repo = ModelRepository(str(tmp_path))
+        model = make_model("EFMFlux")
+        path = repo.store("flux", model)
+        assert path.endswith(".json")
+        loaded = repo.load("flux", "EFMFlux")
+        assert loaded.name == "EFMFlux"
+        assert np.allclose(loaded.predict_mean(1e4), model.predict_mean(1e4))
+
+    def test_candidates_per_functionality(self, tmp_path):
+        repo = ModelRepository(str(tmp_path))
+        repo.store("flux", make_model("EFMFlux", 0.85))
+        repo.store("flux", make_model("GodunovFlux", 1.0))
+        repo.store("states", make_model("States"))
+        flux = repo.candidates("flux")
+        assert sorted(m.name for m in flux) == ["EFMFlux", "GodunovFlux"]
+        assert repo.functionalities() == ["flux", "states"]
+
+    def test_missing_model_raises(self, tmp_path):
+        repo = ModelRepository(str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            repo.load("flux", "ghost")
+
+    def test_store_overwrites(self, tmp_path):
+        repo = ModelRepository(str(tmp_path))
+        repo.store("flux", make_model("EFMFlux", 0.5))
+        repo.store("flux", make_model("EFMFlux", 0.9))
+        assert repo.load("flux", "EFMFlux").quality == 0.9
+        assert len(repo.candidates("flux")) == 1
+
+    def test_feeds_optimizer(self, tmp_path):
+        """Stored models drive assembly optimization directly."""
+        from repro.models.composite import CompositeModel, Workload
+        from repro.perf.optimizer import AssemblyOptimizer
+
+        repo = ModelRepository(str(tmp_path))
+        cheap = PerformanceModel("EFMFlux", fit_linear(Q, 0.16 * Q), quality=0.85)
+        costly = PerformanceModel("GodunovFlux", fit_linear(Q, 0.315 * Q), quality=1.0)
+        repo.store("flux", cheap)
+        repo.store("flux", costly)
+
+        comp = CompositeModel()
+        comp.add_node("flux", Workload((1e4,), (10,)), slot="flux")
+        result = AssemblyOptimizer(
+            comp, {"flux": repo.candidates("flux")}
+        ).optimize()
+        assert result.best.binding_names() == {"flux": "EFMFlux"}

@@ -1,0 +1,169 @@
+"""Collective operations over the MPI simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ParallelRunner
+from repro.mpi.network import LOOPBACK
+
+
+def run(nranks, fn, **kw):
+    return ParallelRunner(nranks, network=LOOPBACK, timeout_s=20.0, **kw).run(fn)
+
+
+def test_barrier_completes_on_all_ranks(runner3):
+    def job(comm):
+        comm.barrier()
+        return comm.accounting.calls("MPI_Barrier")
+
+    assert runner3.run(job) == [1, 1, 1]
+
+
+def test_bcast_from_each_root():
+    def job(comm):
+        out = []
+        for root in range(comm.size):
+            value = {"root": root} if comm.rank == root else None
+            out.append(comm.bcast(value, root=root))
+        return out
+
+    for rank_result in run(3, job):
+        assert rank_result == [{"root": 0}, {"root": 1}, {"root": 2}]
+
+
+def test_bcast_array_is_copied_on_receivers():
+    def job(comm):
+        data = np.arange(4.0) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        got[0] = 99.0 + comm.rank  # mutating our copy must not leak
+        final = comm.allgather(got[0])
+        return final
+
+    out = run(2, job)
+    assert out[0] == [99.0, 100.0]
+
+
+def test_gather_only_root_receives():
+    def job(comm):
+        return comm.gather(comm.rank * 2, root=1)
+
+    out = run(3, job)
+    assert out[0] is None and out[2] is None
+    assert out[1] == [0, 2, 4]
+
+
+def test_allgather_everyone_receives(runner3):
+    assert runner3.run(lambda comm: comm.allgather(comm.rank)) == [[0, 1, 2]] * 3
+
+
+def test_scatter_distributes_items():
+    def job(comm):
+        items = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(items, root=0)
+
+    assert run(3, job) == ["item0", "item1", "item2"]
+
+
+def test_scatter_wrong_length_raises():
+    def job(comm):
+        items = [1] if comm.rank == 0 else None
+        return comm.scatter(items, root=0)
+
+    with pytest.raises(Exception):
+        run(2, job)
+
+
+def test_alltoall_transposes():
+    def job(comm):
+        return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+    out = run(3, job)
+    assert out[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_reduce_sum_and_max():
+    def job(comm):
+        s = comm.reduce(comm.rank + 1, op="sum", root=0)
+        m = comm.allreduce(comm.rank, op="max")
+        return (s, m)
+
+    out = run(3, job)
+    assert out[0] == (6, 2)
+    assert out[1] == (None, 2)
+
+
+def test_allreduce_ops():
+    def job(comm):
+        return {
+            "sum": comm.allreduce(comm.rank + 1, op="sum"),
+            "prod": comm.allreduce(comm.rank + 1, op="prod"),
+            "min": comm.allreduce(comm.rank + 1, op="min"),
+            "max": comm.allreduce(comm.rank + 1, op="max"),
+        }
+
+    for res in run(3, job):
+        assert res == {"sum": 6, "prod": 6, "min": 1, "max": 3}
+
+
+def test_allreduce_custom_op():
+    def job(comm):
+        return comm.allreduce([comm.rank], op=lambda a, b: a + b)
+
+    assert run(3, job)[0] == [0, 1, 2]
+
+
+def test_allreduce_ndarray_elementwise():
+    def job(comm):
+        return comm.allreduce(np.full(3, float(comm.rank)), op="max")
+
+    assert np.array_equal(run(3, job)[2], np.full(3, 2.0))
+
+
+def test_scan_inclusive_prefix():
+    def job(comm):
+        return comm.scan(comm.rank + 1, op="sum")
+
+    assert run(3, job) == [1, 3, 6]
+
+
+def test_dup_isolates_contexts():
+    """Messages in the duplicated communicator don't match the parent's."""
+
+    def job(comm):
+        dup = comm.dup()
+        if comm.rank == 0:
+            dup.send("dup-msg", dest=1, tag=0)
+            comm.send("world-msg", dest=1, tag=0)
+            return None
+        world = comm.recv(source=0, tag=0)
+        duped = dup.recv(source=0, tag=0)
+        return (world, duped)
+
+    assert run(2, job)[1] == ("world-msg", "dup-msg")
+
+
+def test_nested_dup():
+    def job(comm):
+        d1 = comm.dup()
+        d2 = d1.dup()
+        return d2.allreduce(1)
+
+    assert run(3, job) == [3, 3, 3]
+
+
+def test_invalid_root_rejected():
+    def job(comm):
+        comm.bcast(1, root=9)
+
+    with pytest.raises(Exception):
+        run(2, job)
+
+
+def test_collective_charges_accounting(runner3):
+    def job(comm):
+        comm.allreduce(1)
+        comm.barrier()
+        totals = comm.accounting.routine_totals()
+        return set(totals) >= {"MPI_Allreduce", "MPI_Barrier"}
+
+    assert all(runner3.run(job))

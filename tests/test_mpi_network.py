@@ -1,0 +1,88 @@
+"""Network cost model tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.network import LOOPBACK, NetworkModel, payload_nbytes
+
+
+def test_base_cost_latency_plus_bandwidth():
+    net = NetworkModel(latency_us=10.0, bandwidth_bytes_per_us=2.0, jitter_sigma=0.0)
+    assert net.base_p2p_cost(0) == 10.0
+    assert net.base_p2p_cost(20) == pytest.approx(20.0)
+
+
+def test_cost_monotone_in_size():
+    net = NetworkModel(jitter_sigma=0.0)
+    costs = [net.base_p2p_cost(n) for n in (0, 100, 10_000, 1_000_000)]
+    assert costs == sorted(costs)
+
+
+def test_min_cost_floor():
+    net = NetworkModel(latency_us=0.0, bandwidth_bytes_per_us=1e9,
+                       jitter_sigma=0.0, min_cost_us=5.0)
+    assert net.base_p2p_cost(1) == 5.0
+
+
+def test_jitter_disabled_is_exactly_one(rng):
+    net = NetworkModel(jitter_sigma=0.0)
+    assert net.sample_jitter(rng) == 1.0
+
+
+def test_jitter_mean_near_one(rng):
+    net = NetworkModel(jitter_sigma=0.3)
+    draws = np.array([net.sample_jitter(rng) for _ in range(4000)])
+    assert draws.mean() == pytest.approx(1.0, rel=0.05)
+    assert draws.std() > 0.1
+
+
+def test_jitter_always_positive(rng):
+    net = NetworkModel(jitter_sigma=1.0)
+    assert all(net.sample_jitter(rng) > 0 for _ in range(500))
+
+
+def test_collective_cost_scales_with_log_ranks(rng):
+    net = NetworkModel(latency_us=10.0, bandwidth_bytes_per_us=1.0, jitter_sigma=0.0)
+    c2 = net.collective_cost(0, 2, rng)
+    c8 = net.collective_cost(0, 8, rng)
+    assert c8 == pytest.approx(3 * c2)
+
+
+def test_collective_cost_single_rank_is_floor(rng):
+    net = NetworkModel(jitter_sigma=0.0, min_cost_us=1.0)
+    assert net.collective_cost(100, 1, rng) == 1.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel(latency_us=-1.0)
+    with pytest.raises(ValueError):
+        NetworkModel(bandwidth_bytes_per_us=0.0)
+    with pytest.raises(ValueError):
+        NetworkModel(jitter_sigma=-0.1)
+
+
+def test_negative_nbytes_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel().base_p2p_cost(-1)
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_object_uses_pickle_size(self):
+        small = payload_nbytes((1, 2))
+        large = payload_nbytes(tuple(range(1000)))
+        assert 0 < small < large
+
+
+def test_loopback_is_fast_and_deterministic(rng):
+    assert LOOPBACK.jitter_sigma == 0.0
+    assert LOOPBACK.p2p_cost(1000, rng) == LOOPBACK.p2p_cost(1000, rng)

@@ -1,0 +1,75 @@
+"""Probe/iprobe semantics of the MPI simulator."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, ParallelRunner, Status
+from repro.mpi.network import LOOPBACK
+
+
+def run(nranks, fn):
+    return ParallelRunner(nranks, network=LOOPBACK, timeout_s=20.0).run(fn)
+
+
+def test_iprobe_false_when_nothing_pending():
+    def job(comm):
+        if comm.rank == 0:
+            return comm.iprobe(source=1, tag=0)
+        return None
+
+    assert run(2, job)[0] is False
+
+
+def test_iprobe_sees_message_without_consuming():
+    def job(comm):
+        if comm.rank == 0:
+            comm.send("payload", dest=1, tag=3)
+            return None
+        while not comm.iprobe(source=0, tag=3):
+            pass
+        # still receivable afterwards (probe must not consume)
+        again = comm.iprobe(source=0, tag=3)
+        payload = comm.recv(source=0, tag=3)
+        return (again, payload)
+
+    assert run(2, job)[1] == (True, "payload")
+
+
+def test_probe_blocks_then_status_filled():
+    def job(comm):
+        if comm.rank == 0:
+            comm.send(b"xyz", dest=1, tag=9)
+            return None
+        st = Status()
+        comm.probe(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+        payload = comm.recv(source=st.source, tag=st.tag)
+        return (st.Get_source(), st.Get_tag(), st.Get_count(), payload)
+
+    assert run(2, job)[1] == (0, 9, 3, b"xyz")
+
+
+def test_probe_preserves_fifo_order():
+    """Probing must not let a later same-(source,tag) message overtake."""
+
+    def job(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1, tag=1)
+            return None
+        for _ in range(3):
+            comm.probe(source=0, tag=1)  # re-delivers internally
+        return [comm.recv(source=0, tag=1) for _ in range(5)]
+
+    assert run(2, job)[1] == [0, 1, 2, 3, 4]
+
+
+def test_iprobe_charges_accounting():
+    def job(comm):
+        if comm.rank == 0:
+            comm.send(1, dest=1)
+            return None
+        while not comm.iprobe(source=0):
+            pass
+        comm.recv(source=0)
+        return comm.accounting.calls("MPI_Iprobe") >= 1
+
+    assert run(2, job)[1]

@@ -1,0 +1,218 @@
+"""Mastermind: records, callpath, model building, drift checks, dumping."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cca import Framework
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel
+from repro.perf import CallPathRecorder, Mastermind
+from repro.perf.records import InvocationRecord, MethodRecord
+from repro.tau.component import TauMeasurementComponent
+from repro.tau.query import InvocationMeasurement
+
+
+@pytest.fixture
+def mastermind():
+    fw = Framework()
+    fw.create("tau", TauMeasurementComponent)
+    mm = fw.create("mm", Mastermind)
+    fw.connect("mm", "measurement", "tau", "measurement")
+    return fw, mm
+
+
+def invoke(mm, label, method, params, busy_us=200.0, charge=None, fw=None):
+    token = mm.begin_invocation(label, method, params)
+    t0 = time.perf_counter_ns()
+    while (time.perf_counter_ns() - t0) < busy_us * 1000:
+        pass
+    if charge is not None and fw is not None:
+        fw.profiler.charge("MPI_Waitsome", charge)
+    mm.end_invocation(token)
+
+
+class TestMonitoring:
+    def test_record_created_and_filled(self, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "comp", "compute", {"Q": 10})
+        rec = mm.record("comp", "compute")
+        assert len(rec) == 1
+        inv = rec.invocations[0]
+        assert inv.params == {"Q": 10}
+        assert inv.wall_us >= 150.0
+
+    def test_mpi_time_differenced(self, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "comp", "compute", {"Q": 1}, busy_us=1500.0, charge=500.0, fw=fw)
+        inv = mm.record("comp", "compute").invocations[0]
+        assert inv.mpi_us == pytest.approx(500.0)
+        assert inv.wall_us > 500.0
+        assert inv.compute_us == pytest.approx(inv.wall_us - 500.0)
+
+    def test_nested_invocations_build_callpath(self, mastermind):
+        fw, mm = mastermind
+        outer = mm.begin_invocation("a", "run", {})
+        inner = mm.begin_invocation("b", "step", {})
+        mm.end_invocation(inner)
+        mm.end_invocation(outer)
+        assert mm.callpath.calls_between("a::run()", "b::step()") == 1
+
+    def test_unknown_token_rejected(self, mastermind):
+        _, mm = mastermind
+        with pytest.raises(RuntimeError, match="unknown token"):
+            mm.end_invocation(999)
+
+    def test_labels_and_all_records(self, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "b", "m", {}, busy_us=10)
+        invoke(mm, "a", "m", {}, busy_us=10)
+        assert mm.labels() == ["a", "b"]
+        assert [r.label for r in mm.all_records()] == ["a", "b"]
+
+    def test_release_with_open_invocation_raises(self, mastermind):
+        _, mm = mastermind
+        mm.begin_invocation("x", "y", {})
+        with pytest.raises(RuntimeError, match="open invocation"):
+            mm.release()
+
+    def test_requires_measurement_connection(self):
+        fw = Framework()
+        mm = fw.create("mm", Mastermind)
+        with pytest.raises(Exception, match="MeasurementPort"):
+            mm.begin_invocation("a", "b", {})
+
+
+class TestModeling:
+    def test_build_performance_model_from_records(self, mastermind):
+        fw, mm = mastermind
+        for q, busy in [(100, 100), (100, 120), (1000, 700), (1000, 800),
+                        (4000, 2600), (4000, 2800)]:
+            invoke(mm, "k", "f", {"Q": q}, busy_us=busy)
+        model = mm.build_performance_model("k", "f", mean_families=("linear",))
+        assert model.mean_fit.family == "linear"
+        # Cost grows with Q.
+        assert model.predict_mean(4000) > model.predict_mean(100)
+
+    def test_workload_extraction(self, mastermind):
+        fw, mm = mastermind
+        for q in (10, 10, 20):
+            invoke(mm, "k", "f", {"Q": q}, busy_us=10)
+        w = mm.workload("k", "f")
+        assert w.q_values == (10.0, 20.0)
+        assert w.counts == (2, 1)
+
+    def test_invalid_use_rejected(self, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "k", "f", {"Q": 1}, busy_us=10)
+        with pytest.raises(ValueError, match="use must be one of"):
+            mm.build_performance_model("k", "f", use="nonsense")
+
+    def test_check_model_flags_drift(self, mastermind):
+        fw, mm = mastermind
+        for _ in range(5):
+            invoke(mm, "k", "f", {"Q": 100}, busy_us=300)
+        # A model predicting ~0 time: every invocation violates.
+        flat = PerformanceModel("flat", fit_linear([0, 1], [0.001, 0.001]))
+        assert mm.check_model("k", "f", flat, floor_us=1.0) == 1.0
+        # A generous model with a huge band: nothing violates.
+        wide = PerformanceModel("wide", fit_linear([0, 1], [350.0, 350.0]))
+        assert mm.check_model("k", "f", wide, floor_us=1e7) == 0.0
+
+
+class TestReport:
+    def test_report_lists_all_routines(self, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "a", "run", {"Q": 128}, busy_us=20)
+        invoke(mm, "b", "step", {}, busy_us=20)
+        text = mm.report()
+        assert "Mastermind measurement report:" in text
+        assert "a::run()" in text and "b::step()" in text
+        assert "128..128" in text  # Q range of routine a
+        assert text.count("\n") >= 3
+
+    def test_report_empty(self, mastermind):
+        _, mm = mastermind
+        assert "routine" in mm.report()
+
+
+class TestDump:
+    def test_dump_all_writes_files(self, tmp_path, mastermind):
+        fw, mm = mastermind
+        invoke(mm, "comp", "compute", {"Q": 3}, busy_us=10)
+        paths = mm.dump_all(str(tmp_path))
+        assert len(paths) == 1
+        text = open(paths[0]).read()
+        assert "comp::compute()" in text
+        assert "Q" in text
+
+
+class TestMethodRecord:
+    def _record(self):
+        rec = MethodRecord("lbl", "meth")
+        for q, w, m in [(10, 100.0, 20.0), (20, 200.0, 50.0)]:
+            rec.add(InvocationRecord(
+                params={"Q": q},
+                measurement=InvocationMeasurement(wall_us=w, mpi_us=m),
+            ))
+        return rec
+
+    def test_series(self):
+        rec = self._record()
+        assert np.array_equal(rec.param_series("Q"), [10.0, 20.0])
+        assert np.array_equal(rec.wall_series(), [100.0, 200.0])
+        assert np.array_equal(rec.mpi_series(), [20.0, 50.0])
+        assert np.array_equal(rec.compute_series(), [80.0, 150.0])
+        assert rec.total_mpi_us() == 70.0
+        assert rec.total_wall_us() == 300.0
+
+    def test_missing_param_raises(self):
+        rec = self._record()
+        with pytest.raises(KeyError, match="missing"):
+            rec.param_series("nope")
+
+    def test_timer_name(self):
+        assert self._record().timer_name == "lbl::meth()"
+
+    def test_to_text_contains_rows(self):
+        text = self._record().to_text()
+        assert "lbl::meth()" in text
+        assert "100.000" in text
+
+
+class TestCallPath:
+    def test_push_pop_and_counts(self):
+        cp = CallPathRecorder()
+        cp.push("a")
+        cp.push("b")
+        cp.pop("b")
+        cp.push("b")
+        cp.pop("b")
+        cp.pop("a")
+        assert cp.node_counts == {"a": 1, "b": 2}
+        assert cp.calls_between("a", "b") == 2
+        assert cp.depth == 0
+
+    def test_pop_mismatch(self):
+        cp = CallPathRecorder()
+        cp.push("a")
+        with pytest.raises(RuntimeError, match="does not match"):
+            cp.pop("b")
+        assert cp.depth == 1  # stack preserved after failed pop
+
+    def test_pop_empty(self):
+        with pytest.raises(RuntimeError, match="empty stack"):
+            CallPathRecorder().pop("a")
+
+    def test_graph_excludes_root_by_default(self):
+        cp = CallPathRecorder()
+        cp.push("a")
+        cp.push("b")
+        cp.pop("b")
+        cp.pop("a")
+        g = cp.graph()
+        assert set(g.nodes) == {"a", "b"}
+        assert g["a"]["b"]["count"] == 1
+        g_root = cp.graph(include_root=True)
+        assert "<root>" in g_root

@@ -1,0 +1,164 @@
+"""Online monitoring and dynamic re-optimization (Section 6)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cca import Component, Framework, Port
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel
+from repro.perf import (Candidate, Expectation, Mastermind, OnlineMonitor,
+                        insert_proxy, perf_params)
+from repro.tau.component import TauMeasurementComponent
+
+
+class CrunchPort(Port):
+    @perf_params(lambda args, kwargs: {"Q": int(args[0])})
+    def crunch(self, n: int) -> int:
+        raise NotImplementedError
+
+
+class SlowCrunch(Component, CrunchPort):
+    """Busy-waits ~n microseconds (the 'sub-optimal' implementation)."""
+
+    FUNCTIONALITY = "crunch"
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "crunch", CrunchPort)
+
+    def crunch(self, n: int) -> int:
+        t0 = time.perf_counter_ns()
+        while time.perf_counter_ns() - t0 < n * 1000:
+            pass
+        return n
+
+
+class FastCrunch(Component, CrunchPort):
+    """Near-instant implementation."""
+
+    FUNCTIONALITY = "crunch"
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "crunch", CrunchPort)
+
+    def crunch(self, n: int) -> int:
+        return n
+
+
+class Caller(Component):
+    def set_services(self, sv):
+        self.sv = sv
+        sv.register_uses_port("crunch", CrunchPort)
+
+    def run(self, n: int) -> int:
+        return self.sv.get_port("crunch").crunch(n)
+
+
+def linear_model(name, a, b):
+    return PerformanceModel(name, fit_linear([0.0, 1.0], [a, a + b]))
+
+
+@pytest.fixture
+def app():
+    fw = Framework()
+    fw.create("crunch", SlowCrunch)
+    caller = fw.create("caller", Caller)
+    fw.create("tau", TauMeasurementComponent)
+    mm = fw.create("mastermind", Mastermind)
+    fw.connect("caller", "crunch", "crunch", "crunch")
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+    insert_proxy(fw, "caller", "crunch", "mastermind", label="c_proxy")
+    return fw, caller, mm
+
+
+def drive(caller, n=500, times=6):
+    for _ in range(times):
+        caller.run(n)
+
+
+class TestDriftDetection:
+    def test_accurate_model_no_drift(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm, window=10, drift_threshold=0.5)
+        # SlowCrunch costs ~Q us.
+        exp = Expectation("c_proxy", "crunch", linear_model("slow", 100.0, 1.0),
+                          floor_us=2_000.0)
+        report = monitor.check(exp)
+        assert not report.drifting
+        assert report.window == 6
+
+    def test_stale_model_detects_drift(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm, window=10, drift_threshold=0.5)
+        # A model calibrated for FastCrunch (~0 us) mispredicts wildly.
+        exp = Expectation("c_proxy", "crunch", linear_model("fast", 1.0, 0.0),
+                          floor_us=50.0)
+        report = monitor.check(exp)
+        assert report.drifting
+        assert report.violation_fraction == 1.0
+        assert "DRIFT" in str(report)
+
+    def test_empty_window_is_clean(self, app):
+        fw, caller, mm = app
+        caller.run(100)  # record exists
+        monitor = OnlineMonitor(mm, window=5)
+        # strip the invocation list to simulate "no recent data"
+        mm.record("c_proxy", "crunch").invocations.clear()
+        exp = Expectation("c_proxy", "crunch", linear_model("m", 0.0, 1.0))
+        report = monitor.check(exp)
+        assert not report.drifting and report.window == 0
+
+    def test_parameter_validation(self, app):
+        _, _, mm = app
+        with pytest.raises(ValueError):
+            OnlineMonitor(mm, window=0)
+        with pytest.raises(ValueError):
+            OnlineMonitor(mm, drift_threshold=1.5)
+
+
+class TestRecommendAndReplace:
+    def test_recommend_picks_cheaper_candidate(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm)
+        exp = Expectation("c_proxy", "crunch", linear_model("slow", 0.0, 1.0))
+        fast = Candidate(FastCrunch, linear_model("fast", 1.0, 0.0))
+        slower = Candidate(SlowCrunch, linear_model("slower", 0.0, 2.0))
+        choice = monitor.recommend(exp, [slower, fast])
+        assert choice is fast
+
+    def test_recommend_none_when_nothing_beats_current(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm)
+        exp = Expectation("c_proxy", "crunch", linear_model("current", 0.0, 0.001))
+        worse = Candidate(SlowCrunch, linear_model("worse", 0.0, 5.0))
+        assert monitor.recommend(exp, [worse]) is None
+
+    def test_full_loop_replaces_component(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm, window=10, drift_threshold=0.5)
+        # Expectation from the FAST model while the SLOW impl runs -> drift.
+        exp = Expectation("c_proxy", "crunch", linear_model("fast", 1.0, 0.0),
+                          floor_us=50.0)
+        fast = Candidate(FastCrunch, linear_model("fast", 1.0, 0.0))
+        report = monitor.check_and_reoptimize(exp, fw, "crunch", [fast])
+        assert report.replaced_with == "FastCrunch"
+        assert isinstance(fw.component("crunch"), FastCrunch)
+        # wiring preserved: the caller still works (through the proxy)
+        assert caller.run(123) == 123
+
+    def test_no_replacement_when_healthy(self, app):
+        fw, caller, mm = app
+        drive(caller)
+        monitor = OnlineMonitor(mm, window=10, drift_threshold=0.5)
+        exp = Expectation("c_proxy", "crunch", linear_model("slow", 200.0, 1.0),
+                          floor_us=2_000.0)
+        fast = Candidate(FastCrunch, linear_model("fast", 1.0, 0.0))
+        report = monitor.check_and_reoptimize(exp, fw, "crunch", [fast])
+        assert report.replaced_with is None
+        assert isinstance(fw.component("crunch"), SlowCrunch)

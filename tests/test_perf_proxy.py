@@ -1,0 +1,185 @@
+"""Automatic proxy generation and interposition."""
+
+import numpy as np
+import pytest
+
+from repro.cca import Component, Framework, Port
+from repro.perf import Mastermind, insert_proxy, make_proxy_port, perf_params
+from repro.perf.monitor import MonitorPort
+from repro.perf.proxy import ProxyComponent, declared_extractors
+from repro.tau.component import TauMeasurementComponent
+
+
+class WorkPort(Port):
+    @perf_params(lambda args, kwargs: {"Q": len(args[0])})
+    def process(self, data):
+        raise NotImplementedError
+
+    def helper(self):
+        raise NotImplementedError
+
+
+class WorkImpl(WorkPort):
+    def __init__(self):
+        self.calls = []
+
+    def process(self, data):
+        self.calls.append(("process", len(data)))
+        return sum(data)
+
+    def helper(self):
+        self.calls.append(("helper", None))
+        return "helped"
+
+
+class RecordingMonitor(MonitorPort):
+    def __init__(self):
+        self.begun = []
+        self.ended = []
+        self._n = 0
+
+    def begin_invocation(self, label, method, params):
+        self.begun.append((label, method, dict(params)))
+        self._n += 1
+        return self._n
+
+    def end_invocation(self, token):
+        self.ended.append(token)
+
+
+def make_proxy(impl=None, monitor=None, methods=None, extractors=None):
+    impl = impl or WorkImpl()
+    monitor = monitor or RecordingMonitor()
+    proxy = make_proxy_port(
+        WorkPort, "w", lambda: impl, lambda: monitor,
+        methods=methods, extractors=extractors,
+    )
+    return proxy, impl, monitor
+
+
+class TestMakeProxyPort:
+    def test_proxy_implements_interface(self):
+        proxy, _, _ = make_proxy()
+        assert isinstance(proxy, WorkPort)
+
+    def test_forwarding_and_return_value(self):
+        proxy, impl, _ = make_proxy()
+        assert proxy.process([1, 2, 3]) == 6
+        assert impl.calls == [("process", 3)]
+
+    def test_monitor_notified_with_markup_params(self):
+        proxy, _, monitor = make_proxy()
+        proxy.process([1, 2, 3, 4])
+        assert monitor.begun == [("w", "process", {"Q": 4})]
+        assert monitor.ended == [1]
+
+    def test_unmonitored_method_forwards_silently(self):
+        proxy, impl, monitor = make_proxy(methods=["process"])
+        assert proxy.helper() == "helped"
+        assert monitor.begun == []
+        assert impl.calls == [("helper", None)]
+
+    def test_end_called_even_on_exception(self):
+        class Exploding(WorkImpl):
+            def process(self, data):
+                raise ValueError("bad data")
+
+        proxy, _, monitor = make_proxy(impl=Exploding())
+        with pytest.raises(ValueError):
+            proxy.process([1])
+        assert monitor.ended == [1]
+
+    def test_explicit_extractor_overrides_markup(self):
+        proxy, _, monitor = make_proxy(
+            extractors={"process": lambda a, k: {"custom": True}}
+        )
+        proxy.process([1])
+        assert monitor.begun[0][2] == {"custom": True}
+
+    def test_unknown_monitored_method_rejected(self):
+        with pytest.raises(ValueError, match="not methods of"):
+            make_proxy(methods=["nope"])
+
+    def test_interface_without_methods_rejected(self):
+        class Empty(Port):
+            pass
+
+        with pytest.raises(ValueError, match="no methods"):
+            make_proxy_port(Empty, "e", lambda: None, lambda: None)
+
+    def test_declared_extractors_found(self):
+        ex = declared_extractors(WorkPort)
+        assert set(ex) == {"process"}
+
+
+class Worker(Component):
+    def set_services(self, sv):
+        self.impl = WorkImpl()
+        sv.add_provides_port(self.impl, "work", WorkPort)
+
+
+class Consumer(Component):
+    def set_services(self, sv):
+        self.sv = sv
+        sv.register_uses_port("work", WorkPort)
+
+    def run(self, data):
+        return self.sv.get_port("work").process(data)
+
+
+def build_app():
+    fw = Framework()
+    fw.create("worker", Worker)
+    consumer = fw.create("consumer", Consumer)
+    fw.create("tau", TauMeasurementComponent)
+    mm = fw.create("mastermind", Mastermind)
+    fw.connect("consumer", "work", "worker", "work")
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+    return fw, consumer, mm
+
+
+class TestInsertProxy:
+    def test_rewires_and_records(self):
+        fw, consumer, mm = build_app()
+        name = insert_proxy(fw, "consumer", "work", "mastermind", label="w_proxy")
+        assert name == "worker_proxy"
+        assert consumer.run([1, 2]) == 3
+        rec = mm.record("w_proxy", "process")
+        assert len(rec) == 1
+        assert rec.invocations[0].params == {"Q": 2}
+
+    def test_wiring_shows_proxy_between(self):
+        fw, _, _ = build_app()
+        insert_proxy(fw, "consumer", "work", "mastermind")
+        g = fw.wiring_diagram()
+        assert g.has_edge("consumer", "worker_proxy")
+        assert g.has_edge("worker_proxy", "worker")
+        assert not g.has_edge("consumer", "worker")
+
+    def test_requires_existing_connection(self):
+        fw = Framework()
+        fw.create("consumer", Consumer)
+        fw.create("tau", TauMeasurementComponent)
+        fw.create("mastermind", Mastermind)
+        fw.connect("mastermind", "measurement", "tau", "measurement")
+        with pytest.raises(RuntimeError, match="not connected"):
+            insert_proxy(fw, "consumer", "work", "mastermind")
+
+    def test_proxy_component_standalone(self):
+        fw, consumer, mm = build_app()
+        fw.create("proxy", ProxyComponent, port_type=WorkPort, port_name="work",
+                  label="manual")
+        fw.connect("proxy", "work", "worker", "work")
+        fw.connect("proxy", "monitor", "mastermind", "monitor")
+        fw.disconnect("consumer", "work")
+        fw.connect("consumer", "work", "proxy", "work")
+        assert consumer.run([5, 5]) == 10
+        assert len(mm.record("manual", "process")) == 1
+
+    def test_timer_appears_in_profiler(self):
+        fw, consumer, _ = build_app()
+        insert_proxy(fw, "consumer", "work", "mastermind", label="w_proxy")
+        consumer.run([1])
+        stats = fw.profiler.get("w_proxy::process()")
+        assert stats.calls == 1
+        assert stats.group == Mastermind.TIMER_GROUP

@@ -1,0 +1,66 @@
+"""Atomic event statistics (paper's min/max/mean/std/count)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tau.events import AtomicEvent, EventRegistry
+
+
+def test_empty_event_summary():
+    ev = AtomicEvent("e")
+    s = ev.summary()
+    assert s == {"min": 0.0, "max": 0.0, "mean": 0.0, "std": 0.0, "count": 0.0}
+
+
+def test_single_value():
+    ev = AtomicEvent("e")
+    ev.record(5.0)
+    assert ev.minimum == ev.maximum == ev.mean == 5.0
+    assert ev.std == 0.0
+    assert ev.count == 1
+
+
+def test_known_statistics():
+    ev = AtomicEvent("e")
+    for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        ev.record(v)
+    assert ev.mean == pytest.approx(5.0)
+    assert ev.std == pytest.approx(2.0)  # classic population-std example
+    assert ev.minimum == 2.0 and ev.maximum == 9.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+def test_welford_matches_numpy(values):
+    ev = AtomicEvent("e")
+    for v in values:
+        ev.record(v)
+    arr = np.asarray(values)
+    assert ev.mean == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-6)
+    assert ev.std == pytest.approx(float(arr.std()), rel=1e-7, abs=1e-6)
+    assert ev.minimum == arr.min() and ev.maximum == arr.max()
+
+
+class TestRegistry:
+    def test_event_created_on_demand(self):
+        reg = EventRegistry()
+        reg.record("ghost_update_L0", 3.0)
+        reg.record("ghost_update_L0", 5.0)
+        assert reg.event("ghost_update_L0").count == 2
+
+    def test_names_sorted(self):
+        reg = EventRegistry()
+        reg.record("b", 1)
+        reg.record("a", 1)
+        assert reg.names() == ["a", "b"]
+
+    def test_summaries(self):
+        reg = EventRegistry()
+        reg.record("x", 1.0)
+        assert reg.summaries()["x"]["count"] == 1.0
+
+    def test_same_event_instance(self):
+        reg = EventRegistry()
+        assert reg.event("q") is reg.event("q")

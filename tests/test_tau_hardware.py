@@ -1,0 +1,109 @@
+"""Cache model and PAPI-style counters."""
+
+import pytest
+
+from repro.tau.hardware import (AccessPattern, CacheModel, HardwareCounters,
+                                PAPI_FP_OPS, PAPI_L2_DCH, PAPI_L2_DCM)
+
+
+class TestCacheModel:
+    def test_sequential_misses_once_per_line(self):
+        cm = CacheModel(capacity_bytes=1 << 20, line_bytes=64)
+        hits, misses = cm.access_counts(800, elem_bytes=8)
+        assert misses == 100  # 800*8/64
+        assert hits == 700
+
+    def test_sequential_nonresident_misses_per_pass(self):
+        cm = CacheModel(capacity_bytes=1024, line_bytes=64)
+        n = 1024  # 8 KiB, 8x the capacity
+        _h1, m1 = cm.access_counts(n, passes=1)
+        _h2, m2 = cm.access_counts(n, passes=3)
+        assert m2 == 3 * m1
+
+    def test_sequential_resident_repasses_hit(self):
+        cm = CacheModel(capacity_bytes=1 << 20, line_bytes=64)
+        hits, misses = cm.access_counts(100, passes=5)
+        assert misses == 13  # ceil(800/64), first pass only
+        assert hits == 500 - 13
+
+    def test_strided_misses_every_access(self):
+        cm = CacheModel(capacity_bytes=1 << 20, line_bytes=64)
+        hits, misses = cm.access_counts(
+            1000, pattern=AccessPattern.STRIDED, stride_elements=64
+        )
+        assert misses == 1000 and hits == 0
+
+    def test_small_stride_treated_as_sequential(self):
+        cm = CacheModel(line_bytes=64)
+        seq = cm.access_counts(1000)
+        small_stride = cm.access_counts(
+            1000, pattern=AccessPattern.STRIDED, stride_elements=2
+        )
+        assert small_stride == seq
+
+    def test_strided_resident_repasses_hit(self):
+        cm = CacheModel(capacity_bytes=1 << 20, line_bytes=64)
+        hits, misses = cm.access_counts(
+            1000, pattern=AccessPattern.STRIDED, stride_elements=64, passes=4
+        )
+        assert misses == 1000
+        assert hits == 3000
+
+    def test_random_pattern_bounded(self):
+        cm = CacheModel(capacity_bytes=4096, line_bytes=64)
+        hits, misses = cm.access_counts(10_000, pattern=AccessPattern.RANDOM)
+        assert 0 <= misses <= 10_000 and hits + misses == 10_000
+
+    def test_miss_ratio_range(self):
+        cm = CacheModel()
+        assert 0.0 <= cm.miss_ratio(5000) <= 1.0
+
+    def test_zero_elements(self):
+        assert CacheModel().access_counts(0) == (0, 0)
+
+    def test_resident(self):
+        cm = CacheModel(capacity_bytes=1000)
+        assert cm.resident(1000) and not cm.resident(1001)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheModel(capacity_bytes=32, line_bytes=64)
+        with pytest.raises(ValueError):
+            CacheModel(capacity_bytes=0)
+
+    def test_halved_capacity_more_misses(self):
+        """DESIGN.md ablation: smaller cache -> resident window shrinks."""
+        big = CacheModel(capacity_bytes=512 * 1024)
+        small = CacheModel(capacity_bytes=256 * 1024)
+        n = 50_000  # 400 KB: resident in big, not in small
+        _, m_big = big.access_counts(n, passes=2)
+        _, m_small = small.access_counts(n, passes=2)
+        assert m_small > m_big
+
+
+class TestHardwareCounters:
+    def test_flops_accumulate(self):
+        hc = HardwareCounters()
+        hc.record_flops(100)
+        hc.record_flops(50)
+        assert hc.value(PAPI_FP_OPS) == 150
+
+    def test_array_walk_populates_cache_counters(self):
+        hc = HardwareCounters(CacheModel(capacity_bytes=1 << 20))
+        hc.record_array_walk(800)
+        assert hc.value(PAPI_L2_DCM) == 100
+        assert hc.value(PAPI_L2_DCH) == 700
+
+    def test_read_returns_snapshot(self):
+        hc = HardwareCounters()
+        hc.record_flops(1)
+        snap = hc.read()
+        hc.record_flops(1)
+        assert snap[PAPI_FP_OPS] == 1
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCounters().increment("X", -1)
+
+    def test_unknown_counter_is_zero(self):
+        assert HardwareCounters().value("PAPI_NOPE") == 0

@@ -1,0 +1,70 @@
+"""Validation helpers and table formatting."""
+
+import pytest
+
+from repro.util.tabular import format_series, format_table
+from repro.util.validation import (check_in_range, check_non_negative,
+                                   check_positive, check_type)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_in_range_bounds_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_check_in_range_rejects(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.1, 0.0, 1.0)
+
+    def test_check_type_single(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_check_type_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_check_type_rejects(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+
+class TestTabular:
+    def test_basic_table(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (30, 4.25)])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "2.500" in out
+        assert "30" in out
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_series(self):
+        out = format_series([1, 2], [3.0, 4.0], xlabel="Q", ylabel="t")
+        assert "Q" in out and "t" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2])
+
+    def test_non_float_cells_stringified(self):
+        out = format_table(["n"], [("name",)])
+        assert "name" in out

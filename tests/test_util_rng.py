@@ -1,0 +1,45 @@
+"""RNG helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_deterministic():
+    a = make_rng(7).random(5)
+    b = make_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough():
+    g = np.random.default_rng(3)
+    assert make_rng(g) is g
+
+
+def test_make_rng_none_is_allowed():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_streams():
+    streams = spawn_rngs(0, 3)
+    draws = [g.random(100) for g in streams]
+    # Distinct streams must not coincide.
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_rngs_reproducible():
+    a = [g.random(4) for g in spawn_rngs(42, 2)]
+    b = [g.random(4) for g in spawn_rngs(42, 2)]
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_spawn_rngs_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_zero_is_empty():
+    assert spawn_rngs(0, 0) == []

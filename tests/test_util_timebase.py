@@ -1,0 +1,53 @@
+"""Clock abstraction tests."""
+
+import pytest
+
+from repro.util.timebase import Clock, VirtualClock, WallClock, now_us
+
+
+def test_now_us_monotonic():
+    a = now_us()
+    b = now_us()
+    assert b >= a
+
+
+def test_wall_clock_advances():
+    clock = WallClock()
+    t0 = clock.now()
+    # A little busy work; perf_counter_ns resolution makes this safe.
+    sum(range(1000))
+    assert clock.now() >= t0
+
+
+def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_clock_advance_returns_new_time():
+    c = VirtualClock()
+    assert c.advance(2.5) == 2.5
+    assert c.advance(1.5) == 4.0
+    assert c.now() == 4.0
+
+
+def test_virtual_clock_advance_to_only_moves_forward():
+    c = VirtualClock(10.0)
+    c.advance_to(5.0)
+    assert c.now() == 10.0
+    c.advance_to(12.0)
+    assert c.now() == 12.0
+
+
+def test_virtual_clock_rejects_negative_advance():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_virtual_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(-0.1)
+
+
+def test_clocks_satisfy_protocol():
+    assert isinstance(WallClock(), Clock)
+    assert isinstance(VirtualClock(), Clock)
