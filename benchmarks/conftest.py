@@ -9,7 +9,9 @@ Heavy whole-experiment timings use ``benchmark.pedantic`` with one round.
 from __future__ import annotations
 
 import os
+import time
 
+import numpy as np
 import pytest
 
 from repro.euler.ports import DriverParams
@@ -19,11 +21,62 @@ from repro.mpi.network import NetworkModel
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
+#: BENCH_SMOKE=1 drops timing repeats to 1 so CI can exercise every bench
+#: code path in seconds; timing *assertions* stay on (they hold with wide
+#: margins) but published numbers should come from non-smoke runs.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 
 @pytest.fixture(scope="session")
 def out_dir() -> str:
     os.makedirs(OUT_DIR, exist_ok=True)
     return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def smoke() -> bool:
+    return SMOKE
+
+
+def median_us(fn, n: int = 30, warmup: int = 2) -> float:
+    """Median wall time of ``fn()`` in microseconds, after warmup calls."""
+    for _ in range(max(1, warmup)):
+        fn()
+    ts = []
+    for _ in range(max(1, n)):
+        t0 = time.perf_counter_ns()
+        fn()
+        ts.append((time.perf_counter_ns() - t0) / 1000.0)
+    return float(np.median(ts))
+
+
+def paired_median_us(fn_a, fn_b, n: int = 30, warmup: int = 2):
+    """Interleaved A/B timing: ``(median_a, median_b, median_diff)`` in us.
+
+    Measuring all of A before any of B lets cache warmup, CPU frequency
+    ramping and allocator state drift between the two series — which is how
+    a strictly-more-work B can appear *faster* than A (the negative
+    "proxy overhead" artifact).  Interleaving A and B within each repeat
+    and taking the median of the *paired* differences cancels slow drift,
+    so the difference estimate is non-negative in expectation whenever B
+    really does more work.
+    """
+    for _ in range(max(1, warmup)):
+        fn_a()
+        fn_b()
+    ta, tb, diff = [], [], []
+    for _ in range(max(1, n)):
+        t0 = time.perf_counter_ns()
+        fn_a()
+        t1 = time.perf_counter_ns()
+        fn_b()
+        t2 = time.perf_counter_ns()
+        a = (t1 - t0) / 1000.0
+        b = (t2 - t1) / 1000.0
+        ta.append(a)
+        tb.append(b)
+        diff.append(b - a)
+    return float(np.median(ta)), float(np.median(tb)), float(np.median(diff))
 
 
 def write_out(out_dir: str, name: str, text: str) -> str:

@@ -5,8 +5,7 @@ will not be addressed in this paper."  We quantify them: the same States
 invocation through a bare port vs through proxy + Mastermind + TAU.
 """
 
-import numpy as np
-from conftest import write_out
+from conftest import paired_median_us, write_out
 
 from repro.cca import Framework
 from repro.euler.ports import StatesPort
@@ -41,32 +40,30 @@ def _proxied_framework():
     return holder.sv.get_port("states")
 
 
-def _median_us(fn, n=30):
-    import time
-
-    fn()
-    ts = []
-    for _ in range(n):
-        t0 = time.perf_counter_ns()
-        fn()
-        ts.append((time.perf_counter_ns() - t0) / 1000.0)
-    return float(np.median(ts))
-
-
-def test_ablation_proxy_overhead(benchmark, out_dir):
+def test_ablation_proxy_overhead(benchmark, out_dir, smoke):
     from repro.harness.sweeps import synthetic_patch_stack
 
     direct = _direct_framework()
     proxied = _proxied_framework()
 
+    # Interleaved direct/proxied repeats with a warmup pass: timing one
+    # series completely before the other let frequency/cache drift make
+    # the proxied series *look* faster at some Q (a negative "overhead").
+    # The paired-median estimator cancels that drift.
+    n = 1 if smoke else 40
     rows = []
+    pcts = []
     for q in (1_024, 16_384, 147_456):
         U = synthetic_patch_stack(q)
-        t_direct = _median_us(lambda: direct.compute(U, "x"))
-        t_proxied = _median_us(lambda: proxied.compute(U, "x"))
-        overhead_us = t_proxied - t_direct
+        t_direct, t_proxied, overhead_us = paired_median_us(
+            lambda: direct.compute(U, "x"),
+            lambda: proxied.compute(U, "x"),
+            n=n, warmup=3,
+        )
+        pct = 100.0 * overhead_us / t_direct
+        pcts.append(pct)
         rows.append((q, f"{t_direct:.1f}", f"{t_proxied:.1f}",
-                     f"{overhead_us:.1f}", f"{100 * overhead_us / t_direct:.1f}%"))
+                     f"{overhead_us:.1f}", f"{pct:.1f}%"))
 
     table = format_table(
         ["Q", "direct us", "proxied us", "overhead us", "overhead %"],
@@ -75,11 +72,15 @@ def test_ablation_proxy_overhead(benchmark, out_dir):
     )
     write_out(out_dir, "ablation_proxy_overhead.txt", table)
 
-    # The paper's claim: overhead is small relative to the monitored work
-    # at realistic sizes (the largest Q here).
-    largest_pct = float(rows[-1][4].rstrip("%"))
+    # The proxy path does strictly more work, so the paired estimate must
+    # be non-negative at every Q (was not, before interleaving)...
+    if not smoke:
+        assert all(p >= 0.0 for p in pcts), pcts
+    # ...and the paper's claim: overhead is small relative to the monitored
+    # work at realistic sizes (the largest Q here).
+    largest_pct = pcts[-1]
     assert largest_pct < 25.0
-    benchmark.extra_info["overhead_pct_at_max_q"] = largest_pct
+    benchmark.extra_info["overhead_pct_by_q"] = [round(p, 1) for p in pcts]
 
     U = synthetic_patch_stack(16_384)
     benchmark(lambda: proxied.compute(U, "x"))

@@ -27,7 +27,7 @@ from scipy.special import erf
 from repro.cca.component import Component
 from repro.cca.services import Services
 from repro.euler.eos import GAMMA_DEFAULT
-from repro.euler.kernels import check_mode, out_line
+from repro.euler.kernels import check_mode, flatten_sweep, out_line, scatter_sweep
 from repro.euler.ports import FluxPort
 from repro.tau.hardware import AccessPattern, HardwareCounters
 
@@ -55,31 +55,46 @@ def efm_half_flux(W: np.ndarray, sign: float, gamma: float) -> np.ndarray:
 
 
 class EFMKernel:
-    """Line-sweep EFM flux evaluation."""
+    """EFM flux evaluation, batched by default.
+
+    ``batch=True`` evaluates every interface of a sweep in one vectorized
+    call (mode "y" gathers/scatters through strided views, preserving the
+    dual-mode memory behaviour); ``batch=False`` restores the historical
+    line-at-a-time loop for A/B comparison.
+    """
 
     def __init__(self, gamma: float = GAMMA_DEFAULT,
-                 counters: HardwareCounters | None = None) -> None:
+                 counters: HardwareCounters | None = None,
+                 batch: bool = True) -> None:
         self.gamma = float(gamma)
         self.counters = counters
+        self.batch = bool(batch)
 
     def compute(self, WL: np.ndarray, WR: np.ndarray, mode: str = "x") -> np.ndarray:
         """Interface fluxes for patch-oriented state stacks (see States).
 
-        Mode "y" stacks have interfaces on the strided axis, so per-line
-        reads/writes here are strided — the flux components inherit the
+        Mode "y" stacks have interfaces on the strided axis, so reads and
+        writes on that axis are strided — the flux components inherit the
         dual-mode cache behaviour (paper Figures 7-8).
         """
         check_mode(mode)
         if WL.shape != WR.shape or WL.ndim != 3 or WL.shape[0] != 4:
             raise ValueError(f"bad state stacks: {WL.shape} vs {WR.shape}")
-        nlines = WL.shape[1] if mode == "x" else WL.shape[2]
         F = np.empty_like(WL)
-        for ell in range(nlines):
-            fl = out_line(F, mode, ell)
-            fl[...] = (
-                efm_half_flux(out_line(WL, mode, ell), +1.0, self.gamma)
-                + efm_half_flux(out_line(WR, mode, ell), -1.0, self.gamma)
+        if self.batch:
+            flux = (
+                efm_half_flux(flatten_sweep(WL, mode), +1.0, self.gamma)
+                + efm_half_flux(flatten_sweep(WR, mode), -1.0, self.gamma)
             )
+            scatter_sweep(F, flux, mode)
+        else:
+            nlines = WL.shape[1] if mode == "x" else WL.shape[2]
+            for ell in range(nlines):
+                fl = out_line(F, mode, ell)
+                fl[...] = (
+                    efm_half_flux(out_line(WL, mode, ell), +1.0, self.gamma)
+                    + efm_half_flux(out_line(WR, mode, ell), -1.0, self.gamma)
+                )
         if self.counters is not None:
             q = int(WL[0].size)
             pattern = AccessPattern.SEQUENTIAL if mode == "x" else AccessPattern.STRIDED
@@ -99,19 +114,20 @@ class EFMFluxComponent(Component, FluxPort):
     FUNCTIONALITY = "flux"
     QUALITY = 0.85
 
-    def __init__(self, gamma: float = GAMMA_DEFAULT) -> None:
+    def __init__(self, gamma: float = GAMMA_DEFAULT, batch: bool = True) -> None:
         self._gamma = gamma
+        self._batch = bool(batch)
         self._kernel: EFMKernel | None = None
 
     def set_services(self, services: Services) -> None:
         counters = services.framework.profiler.counters
-        self._kernel = EFMKernel(self._gamma, counters)
+        self._kernel = EFMKernel(self._gamma, counters, batch=self._batch)
         services.add_provides_port(self, self.PORT_NAME, FluxPort)
 
     @property
     def kernel(self) -> EFMKernel:
         if self._kernel is None:
-            self._kernel = EFMKernel(self._gamma)
+            self._kernel = EFMKernel(self._gamma, batch=self._batch)
         return self._kernel
 
     def compute(self, WL: np.ndarray, WR: np.ndarray, mode: str = "x") -> np.ndarray:

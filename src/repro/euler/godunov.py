@@ -10,6 +10,15 @@ The iteration count depends on the data, which is why the paper observes
 GodunovFlux's timing variability *growing* with Q (Eq. 2's
 ``sigma_Godunov = -526 + 0.152 Q``) while its mean is linear
 (``T_Godunov = -963 + 0.315 Q``) and larger than EFMFlux's.
+
+:func:`solve_star_pressure` uses an *active-set* Newton: each step only
+updates the still-unconverged interfaces (boolean-mask gather/scatter)
+and the per-interface iteration counts are returned, so the observable
+behind Eq. 2 — how much iterative work each interface needed — is exact
+rather than a per-line mean.  :class:`GodunovKernel` evaluates whole
+sweeps in one batched call by default (``batch=True``); the historical
+line-at-a-time path is kept behind ``batch=False`` for A/B comparison
+(see ``benchmarks/test_microbench_flux_batch.py``).
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ import numpy as np
 from repro.cca.component import Component
 from repro.cca.services import Services
 from repro.euler.eos import GAMMA_DEFAULT, P_FLOOR, RHO_FLOOR
-from repro.euler.kernels import check_mode, out_line
+from repro.euler.kernels import (check_mode, flatten_sweep, out_line,
+                                 scatter_sweep, sweep_view)
 from repro.euler.ports import FluxPort
 from repro.tau.hardware import AccessPattern, HardwareCounters
 
@@ -34,20 +44,25 @@ def _pressure_function(p: np.ndarray, rho_k: np.ndarray, p_k: np.ndarray,
                        c_k: np.ndarray, gamma: float) -> tuple[np.ndarray, np.ndarray]:
     """Toro's f_K(p) and its derivative for one side (vectorized).
 
-    Shock branch for p > p_k, rarefaction branch otherwise.
+    Shock branch for p > p_k, rarefaction branch otherwise.  Both branches
+    are evaluated for every interface and selected with ``np.where``; the
+    unused branch can hit invalid powers at floor-level states, so the
+    evaluation runs under ``np.errstate`` — the selected branch is always
+    finite for floored inputs.
     """
     g1 = (gamma - 1.0) / (2.0 * gamma)
     A = 2.0 / ((gamma + 1.0) * rho_k)
     B = (gamma - 1.0) / (gamma + 1.0) * p_k
     shock = p > p_k
-    # Shock branch
-    sq = np.sqrt(A / (p + B))
-    f_s = (p - p_k) * sq
-    df_s = sq * (1.0 - 0.5 * (p - p_k) / (p + B))
-    # Rarefaction branch
-    pr = np.maximum(p, P_FLOOR) / p_k
-    f_r = 2.0 * c_k / (gamma - 1.0) * (pr**g1 - 1.0)
-    df_r = 1.0 / (rho_k * c_k) * pr ** (-(gamma + 1.0) / (2.0 * gamma))
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        # Shock branch
+        sq = np.sqrt(A / (p + B))
+        f_s = (p - p_k) * sq
+        df_s = sq * (1.0 - 0.5 * (p - p_k) / (p + B))
+        # Rarefaction branch
+        pr = np.maximum(p, P_FLOOR) / p_k
+        f_r = 2.0 * c_k / (gamma - 1.0) * (pr**g1 - 1.0)
+        df_r = 1.0 / (rho_k * c_k) * pr ** (-(gamma + 1.0) / (2.0 * gamma))
     return np.where(shock, f_s, f_r), np.where(shock, df_s, df_r)
 
 
@@ -57,35 +72,55 @@ def solve_star_pressure(
     gamma: float = GAMMA_DEFAULT,
     max_iter: int = MAX_ITER,
     tol: float = TOL,
-) -> tuple[np.ndarray, np.ndarray, int]:
-    """Newton solve for (p*, u*); returns (p_star, u_star, iterations).
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Active-set Newton solve for (p*, u*).
 
-    Vectorized over interfaces; iterates until every entry converges (the
-    data-dependent iteration count behind GodunovFlux's variability).
+    Returns ``(p_star, u_star, iter_counts)`` where ``iter_counts`` is an
+    integer array (input shape) holding the number of Newton updates each
+    interface received — the data-dependent work behind the paper's
+    growing ``sigma_Godunov(Q)``.  Each step gathers only the interfaces
+    whose relative pressure change is still above ``tol``, updates them,
+    and scatters the result back; converged interfaces are frozen.
     """
+    rho_l, u_l, p_l, rho_r, u_r, p_r = np.broadcast_arrays(
+        rho_l, u_l, p_l, rho_r, u_r, p_r
+    )
+    shape = p_l.shape
     c_l = np.sqrt(gamma * p_l / rho_l)
     c_r = np.sqrt(gamma * p_r / rho_r)
     du = u_r - u_l
-    # Two-rarefaction initial guess (robust and positive).
+    # Two-rarefaction initial guess (robust and positive).  The numerator
+    # goes non-positive for vacuum-generating expansions; clamp it so the
+    # fractional power never sees a negative base (p* floors out instead).
     g1 = (gamma - 1.0) / (2.0 * gamma)
-    num = c_l + c_r - 0.5 * (gamma - 1.0) * du
+    num = np.maximum(c_l + c_r - 0.5 * (gamma - 1.0) * du, 0.0)
     den = c_l / np.maximum(p_l, P_FLOOR) ** g1 + c_r / np.maximum(p_r, P_FLOOR) ** g1
-    p = np.maximum((num / den) ** (1.0 / g1), P_FLOOR)
-    iterations = 0
+    p = np.maximum((num / den) ** (1.0 / g1), P_FLOOR).reshape(-1)
+
+    rl, ul, pl = rho_l.reshape(-1), u_l.reshape(-1), p_l.reshape(-1)
+    rr, ur, pr = rho_r.reshape(-1), u_r.reshape(-1), p_r.reshape(-1)
+    cl, cr, duf = c_l.reshape(-1), c_r.reshape(-1), du.reshape(-1)
+    iter_counts = np.zeros(p.shape, dtype=np.int64)
+
+    active = np.arange(p.size)
     for _ in range(max_iter):
-        f_l, df_l = _pressure_function(p, rho_l, p_l, c_l, gamma)
-        f_r, df_r = _pressure_function(p, rho_r, p_r, c_r, gamma)
-        delta = (f_l + f_r + du) / (df_l + df_r)
-        p_new = np.maximum(p - delta, P_FLOOR)
-        iterations += 1
-        if np.all(2.0 * np.abs(p_new - p) / (p_new + p) < tol):
-            p = p_new
+        if active.size == 0:
             break
-        p = p_new
+        pa = p[active]
+        f_l, df_l = _pressure_function(pa, rl[active], pl[active], cl[active], gamma)
+        f_r, df_r = _pressure_function(pa, rr[active], pr[active], cr[active], gamma)
+        delta = (f_l + f_r + duf[active]) / (df_l + df_r)
+        p_new = np.maximum(pa - delta, P_FLOOR)
+        iter_counts[active] += 1
+        p[active] = p_new
+        converged = 2.0 * np.abs(p_new - pa) / (p_new + pa) < tol
+        active = active[~converged]
+
+    p = p.reshape(shape)
     f_l, _ = _pressure_function(p, rho_l, p_l, c_l, gamma)
     f_r, _ = _pressure_function(p, rho_r, p_r, c_r, gamma)
     u_star = 0.5 * (u_l + u_r) + 0.5 * (f_r - f_l)
-    return p, u_star, iterations
+    return p, u_star, iter_counts.reshape(shape)
 
 
 def sample_interface(
@@ -93,98 +128,80 @@ def sample_interface(
 ):
     """Sample the exact Riemann solution at x/t = 0 (Toro Section 4.5).
 
-    Returns (rho, u, p) of the state on the interface, vectorized.
+    Returns (rho, u, p) of the state on the interface, vectorized.  The
+    solution is mirror-symmetric about the contact, so only the upwind
+    side's wave structure is evaluated: states are reflected into the
+    left-wave frame (``u -> sign*u``) and the sampled velocity reflected
+    back — exactly the arithmetic of evaluating both sides, at half the
+    cost.  Unused ``np.where`` branches may produce invalid intermediates
+    at floor-level states, so the algebra runs under ``np.errstate``.
     """
-    c_l = np.sqrt(gamma * p_l / rho_l)
-    c_r = np.sqrt(gamma * p_r / rho_r)
-    gp1 = gamma + 1.0
-    gm1 = gamma - 1.0
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        gp1 = gamma + 1.0
+        gm1 = gamma - 1.0
 
-    left_of_contact = u_star >= 0.0
+        left_of_contact = u_star >= 0.0
+        sign = np.where(left_of_contact, 1.0, -1.0)
+        rho_k = np.where(left_of_contact, rho_l, rho_r)
+        p_k = np.where(left_of_contact, p_l, p_r)
+        un = np.where(left_of_contact, u_l, u_r) * sign
+        us = u_star * sign
+        c_k = np.sqrt(gamma * p_k / rho_k)
 
-    # --- Left wave structures -------------------------------------------
-    shock_l = p_star > p_l
-    # Left shock
-    ps_l = p_star / p_l
-    s_l = u_l - c_l * np.sqrt(gp1 / (2 * gamma) * ps_l + gm1 / (2 * gamma))
-    rho_sl_shock = rho_l * (ps_l + gm1 / gp1) / (ps_l * gm1 / gp1 + 1.0)
-    # Left rarefaction
-    rho_sl_rare = rho_l * ps_l ** (1.0 / gamma)
-    c_sl = c_l * ps_l ** (gm1 / (2 * gamma))
-    sh_l = u_l - c_l           # head speed
-    st_l = u_star - c_sl       # tail speed
-    # Inside-fan state (x/t = 0)
-    # Clamp: the fan factor can go (unphysically) non-positive in branches
-    # np.where will not select; keep the power computable.
-    fan_fac_l = np.maximum(2.0 / gp1 + gm1 / (gp1 * c_l) * u_l, 1e-12)
-    rho_fan_l = rho_l * fan_fac_l ** (2.0 / gm1)
-    u_fan_l = 2.0 / gp1 * (c_l + 0.5 * gm1 * u_l)
-    p_fan_l = p_l * fan_fac_l ** (2.0 * gamma / gm1)
+        shock = p_star > p_k
+        ps = p_star / p_k
+        # Shock branch
+        s = un - c_k * np.sqrt(gp1 / (2 * gamma) * ps + gm1 / (2 * gamma))
+        rho_shock = rho_k * (ps + gm1 / gp1) / (ps * gm1 / gp1 + 1.0)
+        # Rarefaction branch
+        rho_rare = rho_k * ps ** (1.0 / gamma)
+        c_s = c_k * ps ** (gm1 / (2 * gamma))
+        sh = un - c_k             # head speed
+        st = us - c_s             # tail speed
+        # Inside-fan state (x/t = 0)
+        # Clamp: the fan factor can go (unphysically) non-positive in branches
+        # np.where will not select; keep the power computable.
+        fan_fac = np.maximum(2.0 / gp1 + gm1 / (gp1 * c_k) * un, 1e-12)
+        rho_fan = rho_k * fan_fac ** (2.0 / gm1)
+        u_fan = 2.0 / gp1 * (c_k + 0.5 * gm1 * un)
+        p_fan = p_k * fan_fac ** (2.0 * gamma / gm1)
 
-    # Resolve the left-of-contact state at x/t = 0.
-    rho_left = np.where(
-        shock_l,
-        np.where(s_l >= 0.0, rho_l, rho_sl_shock),
-        np.where(sh_l >= 0.0, rho_l, np.where(st_l <= 0.0, rho_sl_rare, rho_fan_l)),
-    )
-    u_left = np.where(
-        shock_l,
-        np.where(s_l >= 0.0, u_l, u_star),
-        np.where(sh_l >= 0.0, u_l, np.where(st_l <= 0.0, u_star, u_fan_l)),
-    )
-    p_left = np.where(
-        shock_l,
-        np.where(s_l >= 0.0, p_l, p_star),
-        np.where(sh_l >= 0.0, p_l, np.where(st_l <= 0.0, p_star, p_fan_l)),
-    )
+        # Region masks: ahead of the wave, inside the fan, or star region.
+        pre = np.where(shock, s >= 0.0, sh >= 0.0)
+        fan = ~shock & (sh < 0.0) & (st > 0.0)
 
-    # --- Right wave structures (mirror) ---------------------------------
-    shock_r = p_star > p_r
-    ps_r = p_star / p_r
-    s_r = u_r + c_r * np.sqrt(gp1 / (2 * gamma) * ps_r + gm1 / (2 * gamma))
-    rho_sr_shock = rho_r * (ps_r + gm1 / gp1) / (ps_r * gm1 / gp1 + 1.0)
-    rho_sr_rare = rho_r * ps_r ** (1.0 / gamma)
-    c_sr = c_r * ps_r ** (gm1 / (2 * gamma))
-    sh_r = u_r + c_r
-    st_r = u_star + c_sr
-    fan_fac_r = np.maximum(2.0 / gp1 - gm1 / (gp1 * c_r) * u_r, 1e-12)
-    rho_fan_r = rho_r * fan_fac_r ** (2.0 / gm1)
-    u_fan_r = 2.0 / gp1 * (-c_r + 0.5 * gm1 * u_r)
-    p_fan_r = p_r * fan_fac_r ** (2.0 * gamma / gm1)
-
-    rho_right = np.where(
-        shock_r,
-        np.where(s_r <= 0.0, rho_r, rho_sr_shock),
-        np.where(sh_r <= 0.0, rho_r, np.where(st_r >= 0.0, rho_sr_rare, rho_fan_r)),
-    )
-    u_right = np.where(
-        shock_r,
-        np.where(s_r <= 0.0, u_r, u_star),
-        np.where(sh_r <= 0.0, u_r, np.where(st_r >= 0.0, u_star, u_fan_r)),
-    )
-    p_right = np.where(
-        shock_r,
-        np.where(s_r <= 0.0, p_r, p_star),
-        np.where(sh_r <= 0.0, p_r, np.where(st_r >= 0.0, p_star, p_fan_r)),
-    )
-
-    rho = np.where(left_of_contact, rho_left, rho_right)
-    u = np.where(left_of_contact, u_left, u_right)
-    p = np.where(left_of_contact, p_left, p_right)
+        rho = np.where(pre, rho_k,
+                       np.where(fan, rho_fan, np.where(shock, rho_shock, rho_rare)))
+        u = np.where(pre, un, np.where(fan, u_fan, us)) * sign
+        p = np.where(pre, p_k, np.where(fan, p_fan, p_star))
     return np.maximum(rho, RHO_FLOOR), u, np.maximum(p, P_FLOOR)
 
 
 class GodunovKernel:
-    """Line-sweep exact-Godunov flux evaluation."""
+    """Exact-Godunov flux evaluation, batched by default.
+
+    ``batch=True`` flattens every line of a sweep into one vectorized
+    Riemann batch (mode "y" gathers/scatters through strided views, so
+    the dual-mode memory behaviour survives).  ``batch=False`` restores
+    the historical one-line-at-a-time Python loop.
+    """
 
     def __init__(self, gamma: float = GAMMA_DEFAULT,
-                 counters: HardwareCounters | None = None) -> None:
+                 counters: HardwareCounters | None = None,
+                 batch: bool = True) -> None:
         self.gamma = float(gamma)
         self.counters = counters
-        #: cumulative Newton iterations (observable data-dependent work)
+        self.batch = bool(batch)
+        #: cumulative Newton iterations summed over interfaces (the
+        #: observable data-dependent work)
         self.total_iterations = 0
+        #: per-interface Newton counts of the most recent compute(), in
+        #: patch orientation (same shape as ``F[0]``)
+        self.last_iter_counts: np.ndarray | None = None
 
-    def _line_flux(self, wl: np.ndarray, wr: np.ndarray) -> np.ndarray:
+    def _flux_states(self, wl: np.ndarray, wr: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Fluxes + per-interface iteration counts for ``(4, ...)`` stacks."""
         gamma = self.gamma
         rho_l, u_l, ut_l, p_l = (np.maximum(wl[0], RHO_FLOOR), wl[1], wl[2],
                                  np.maximum(wl[3], P_FLOOR))
@@ -193,7 +210,6 @@ class GodunovKernel:
         p_star, u_star, iters = solve_star_pressure(
             rho_l, u_l, p_l, rho_r, u_r, p_r, gamma
         )
-        self.total_iterations += iters
         rho, u, p = sample_interface(
             rho_l, u_l, p_l, rho_r, u_r, p_r, p_star, u_star, gamma
         )
@@ -207,21 +223,34 @@ class GodunovKernel:
         check_mode(mode)
         if WL.shape != WR.shape or WL.ndim != 3 or WL.shape[0] != 4:
             raise ValueError(f"bad state stacks: {WL.shape} vs {WR.shape}")
-        nlines = WL.shape[1] if mode == "x" else WL.shape[2]
         F = np.empty_like(WL)
-        iters_total = 0
-        for ell in range(nlines):
-            flux, iters = self._line_flux(
-                out_line(WL, mode, ell), out_line(WR, mode, ell)
+        counts = np.empty(WL.shape[1:], dtype=np.int64)
+        if self.batch:
+            # One vectorized Riemann solve over every interface of the
+            # sweep; mode "y" gathers and scatters through strided views.
+            flux, iters = self._flux_states(
+                flatten_sweep(WL, mode), flatten_sweep(WR, mode)
             )
-            out_line(F, mode, ell)[...] = flux
-            iters_total += iters
+            scatter_sweep(F, flux, mode)
+            scatter_sweep(counts, iters, mode)
+        else:
+            nlines = WL.shape[1] if mode == "x" else WL.shape[2]
+            for ell in range(nlines):
+                flux, iters = self._flux_states(
+                    out_line(WL, mode, ell), out_line(WR, mode, ell)
+                )
+                out_line(F, mode, ell)[...] = flux
+                sweep_view(counts, mode)[ell] = iters
+        total = int(counts.sum())
+        self.total_iterations += total
+        self.last_iter_counts = counts
         if self.counters is not None:
             q = int(WL[0].size)
             pattern = AccessPattern.SEQUENTIAL if mode == "x" else AccessPattern.STRIDED
             self.counters.record_array_walk(q, pattern=pattern, passes=3)
-            mean_iters = iters_total / max(nlines, 1)
-            self.counters.record_flops(int(FLOPS_PER_INTERFACE_PER_ITER * q * mean_iters))
+            # Exact data-dependent work: summed per-interface Newton counts
+            # (formerly approximated as q * mean-iterations-per-line).
+            self.counters.record_flops(FLOPS_PER_INTERFACE_PER_ITER * total)
         return F
 
 
@@ -236,19 +265,20 @@ class GodunovFluxComponent(Component, FluxPort):
     FUNCTIONALITY = "flux"
     QUALITY = 1.0
 
-    def __init__(self, gamma: float = GAMMA_DEFAULT) -> None:
+    def __init__(self, gamma: float = GAMMA_DEFAULT, batch: bool = True) -> None:
         self._gamma = gamma
+        self._batch = bool(batch)
         self._kernel: GodunovKernel | None = None
 
     def set_services(self, services: Services) -> None:
         counters = services.framework.profiler.counters
-        self._kernel = GodunovKernel(self._gamma, counters)
+        self._kernel = GodunovKernel(self._gamma, counters, batch=self._batch)
         services.add_provides_port(self, self.PORT_NAME, FluxPort)
 
     @property
     def kernel(self) -> GodunovKernel:
         if self._kernel is None:
-            self._kernel = GodunovKernel(self._gamma)
+            self._kernel = GodunovKernel(self._gamma, batch=self._batch)
         return self._kernel
 
     def compute(self, WL: np.ndarray, WR: np.ndarray, mode: str = "x") -> np.ndarray:

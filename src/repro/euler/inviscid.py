@@ -23,7 +23,7 @@ from repro.perf.proxy import perf_params
 
 #: variable order of mode-"y" flux stacks is (mass, mom_y, mom_x, E);
 #: this index map restores (mass, mom_x, mom_y, E)
-_Y_REORDER = (0, 2, 1, 3)
+_Y_REORDER = [0, 2, 1, 3]
 
 
 class RhsPort(Port):
@@ -51,6 +51,11 @@ class InviscidFluxComponent(Component, RhsPort):
             raise ValueError(f"need nghost >= 2, got {nghost}")
         self.nghost = int(nghost)
         self._services: Services | None = None
+        #: per-interface Newton iteration counts of the most recent sweeps,
+        #: keyed by mode — populated only when the wired flux kernel exposes
+        #: them (GodunovKernel); empty for iteration-free fluxes (EFM) and
+        #: when the flux port is reached through a measurement proxy.
+        self.last_iter_counts: dict[str, np.ndarray] = {}
 
     def set_services(self, services: Services) -> None:
         self._services = services
@@ -72,12 +77,19 @@ class InviscidFluxComponent(Component, RhsPort):
         # X sweep: sequential access mode.
         WLx, WRx = states.compute(U, "x")
         Fx = flux.compute(WLx, WRx, "x")  # (4, Ni-2g, nfx)
+        self._capture_iter_counts(flux, "x")
         # Y sweep: strided access mode.
         WLy, WRy = states.compute(U, "y")
         Fy = flux.compute(WLy, WRy, "y")  # (4, nfy, Nj-2g)
+        self._capture_iter_counts(flux, "y")
 
         dU = -(Fx[:, :, 1:] - Fx[:, :, :-1]) / dx
         dGy = (Fy[:, 1:, :] - Fy[:, :-1, :]) / dy
-        for k_to, k_from in enumerate(_Y_REORDER):
-            dU[k_to] -= dGy[k_from]
+        dU -= dGy[_Y_REORDER]
         return dU
+
+    def _capture_iter_counts(self, flux: FluxPort, mode: str) -> None:
+        kernel = getattr(flux, "kernel", None)
+        counts = getattr(kernel, "last_iter_counts", None)
+        if counts is not None:
+            self.last_iter_counts[mode] = counts

@@ -16,6 +16,14 @@ and the strided mode degrades as arrays outgrow the cache — Figures 4-5.
 :func:`sweep_view` returns a view whose **axis 0 indexes lines** and whose
 axis 1 runs along the sweep; for mode "y" that view is a transpose, so
 ``view[ell]`` is a strided column slice.
+
+The batched kernel paths (``batch=True``, the default since the flux
+vectorization) do not loop over lines: :func:`flatten_sweep` gathers every
+line of a sweep into one contiguous ``(K, nlines*npts)`` batch and
+:func:`scatter_sweep` writes a batch back.  For mode "y" the gather reads
+— and the scatter writes — a *strided* view of the patch-oriented array,
+so the dual-mode memory behaviour (Figures 4-5) is exercised by the batch
+copies themselves; mode "x" flattens without copying at all.
 """
 
 from __future__ import annotations
@@ -50,6 +58,30 @@ def sweep_view(arr: np.ndarray, mode: str) -> np.ndarray:
 def unsweep(arr: np.ndarray, mode: str) -> np.ndarray:
     """Inverse of :func:`sweep_view` (transposition is an involution)."""
     return sweep_view(arr, mode)
+
+
+def flatten_sweep(arr: np.ndarray, mode: str) -> np.ndarray:
+    """All lines of a sweep as one contiguous batch ``(K, nlines*npts)``.
+
+    Mode "x": a reshape of the patch-oriented stack — no copy.  Mode "y":
+    a gather through the transposed (strided) view — the copy walks the
+    source with the stride of one row, which is exactly the strided access
+    the per-line path performed.
+    """
+    view = sweep_view(arr, mode)
+    if arr.ndim == 2:
+        return np.ascontiguousarray(view).reshape(-1)
+    return np.ascontiguousarray(view).reshape(view.shape[0], -1)
+
+
+def scatter_sweep(dst: np.ndarray, batch: np.ndarray, mode: str) -> None:
+    """Write a flat batch back into a patch-oriented array.
+
+    Inverse of :func:`flatten_sweep`; for mode "y" the assignment scatters
+    through the transposed view, i.e. performs strided writes.
+    """
+    view = sweep_view(dst, mode)
+    view[...] = batch.reshape(view.shape)
 
 
 def alloc_like_sweep(nvars: int, nlines: int, npts: int) -> np.ndarray:

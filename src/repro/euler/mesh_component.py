@@ -27,6 +27,15 @@ from repro.euler.ports import DriverParams, MeshPort
 FIELDS = ("rho", "mx", "my", "E")
 
 
+def stack_fields(patch) -> np.ndarray:
+    """Conserved stack ``(4, Ni, Nj)`` (a copy) of one patch.
+
+    The single gather point for patch-to-kernel data marshalling: the
+    stacked array is what the batched sweep kernels consume.
+    """
+    return np.stack([patch.data(f) for f in FIELDS])
+
+
 class AMRMeshComponent(Component, MeshPort):
     """CCA packaging of the SAMR hierarchy (provides port ``"mesh"``)."""
 
@@ -103,7 +112,7 @@ class AMRMeshComponent(Component, MeshPort):
     # ------------------------------------------------------- conveniences
     def stack(self, patch) -> np.ndarray:
         """Conserved stack ``(4, Ni, Nj)`` (a copy) of one patch."""
-        return np.stack([patch.data(f) for f in FIELDS])
+        return stack_fields(patch)
 
     def write_interior(self, patch, U_int: np.ndarray) -> None:
         """Write an interior-shaped conserved stack back into a patch."""

@@ -117,3 +117,6 @@ class DriverParams:
     blocks: tuple[int, int] = (2, 2)
     flag_threshold: float = 0.05
     max_patch_cells: int = 4096
+    #: evaluate States/flux kernels in batched (vectorized-sweep) form;
+    #: False restores the historical per-line loops for A/B comparison
+    batch: bool = True

@@ -16,7 +16,7 @@ from repro.cca.component import Component
 from repro.cca.services import PortNotConnectedError, Services
 from repro.euler.eos import GAMMA_DEFAULT, max_wavespeed
 from repro.euler.inviscid import RhsPort
-from repro.euler.mesh_component import FIELDS
+from repro.euler.mesh_component import FIELDS, stack_fields
 from repro.euler.ports import IntegratorPort, MeshPort
 
 
@@ -63,8 +63,7 @@ class RK2Component(Component, IntegratorPort):
         smax = 1e-30
         for lev in range(h.max_levels):
             for patch in mesh.local_patches(lev):
-                U = np.stack([patch.data(f) for f in FIELDS])
-                smax = max(smax, max_wavespeed(U, self.gamma))
+                smax = max(smax, max_wavespeed(stack_fields(patch), self.gamma))
         if h.comm is not None:
             smax = h.comm.allreduce(smax, op="max")
         dx0, dy0 = h.dx(0)
@@ -85,7 +84,7 @@ class RK2Component(Component, IntegratorPort):
         saved: dict[int, np.ndarray] = {}
         # Stage 1: U1 = U0 + dt L(U0)
         for patch in mesh.local_patches(level):
-            U0 = np.stack([patch.data(f) for f in FIELDS])
+            U0 = stack_fields(patch)
             saved[patch.uid] = U0[:, g:-g, g:-g].copy()
             dU = rhs.flux_divergence(U0, dx, dy)
             for k, f in enumerate(FIELDS):
@@ -93,13 +92,11 @@ class RK2Component(Component, IntegratorPort):
         mesh.ghost_update(level)
         # Stage 2: U = (U0 + U1 + dt L(U1)) / 2
         for patch in mesh.local_patches(level):
-            U1 = np.stack([patch.data(f) for f in FIELDS])
+            U1 = stack_fields(patch)
             dU = rhs.flux_divergence(U1, dx, dy)
-            U0_int = saved[patch.uid]
+            U_new = 0.5 * (saved[patch.uid] + U1[:, g:-g, g:-g] + dt * dU)
             for k, f in enumerate(FIELDS):
-                patch.interior(f)[...] = 0.5 * (
-                    U0_int[k] + U1[k, g:-g, g:-g] + dt * dU[k]
-                )
+                patch.interior(f)[...] = U_new[k]
         # Subcycle finer level, then synchronize downward.
         if level + 1 < h.max_levels and h.levels[level + 1]:
             sub_dt = dt / h.r

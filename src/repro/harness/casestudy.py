@@ -78,8 +78,8 @@ def compose_case_study(fw: Framework, config: CaseStudyConfig) -> None:
         raise ValueError(
             f"flux must be one of {sorted(FLUX_CLASSES)}, got {config.flux!r}"
         ) from None
-    fw.create("states", StatesComponent)
-    fw.create("flux", flux_cls)
+    fw.create("states", StatesComponent, batch=config.params.batch)
+    fw.create("flux", flux_cls, batch=config.params.batch)
     fw.create("inviscid", InviscidFluxComponent)
     fw.create("rk2", RK2Component)
     mesh = fw.create("mesh", AMRMeshComponent, params=config.params,

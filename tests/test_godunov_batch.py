@@ -1,0 +1,99 @@
+"""Batched Godunov solver vs per-line path on Toro's five Riemann tests.
+
+Reference star states from Toro, "Riemann Solvers and Numerical Methods
+for Fluid Dynamics", Table 4.3 (gamma = 1.4).  The batched and per-line
+kernel paths share all pointwise code, so agreement is expected to be
+bitwise — asserted here at the issue's <= 1e-12 bar.
+"""
+
+import numpy as np
+import pytest
+
+from repro.euler.godunov import MAX_ITER, GodunovKernel, solve_star_pressure
+from repro.euler.states import StatesKernel
+from repro.harness.sweeps import synthetic_patch_stack
+
+GAMMA = 1.4
+
+#: (rho_l, u_l, p_l, rho_r, u_r, p_r, p_star, u_star)
+TORO_TESTS = {
+    "sod": (1.0, 0.0, 1.0, 0.125, 0.0, 0.1, 0.30313, 0.92745),
+    "123": (1.0, -2.0, 0.4, 1.0, 2.0, 0.4, 0.00189, 0.0),
+    "blast_left": (1.0, 0.0, 1000.0, 1.0, 0.0, 0.01, 460.894, 19.5975),
+    "blast_right": (1.0, 0.0, 0.01, 1.0, 0.0, 100.0, 46.0950, -6.19633),
+    "collision": (5.99924, 19.5975, 460.894, 5.99242, -6.19633, 46.0950,
+                  1691.64, 8.68975),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TORO_TESTS))
+def test_toro_star_states(name):
+    rl, ul, pl, rr, ur, pr, p_ref, u_ref = TORO_TESTS[name]
+    p_star, u_star, iters = solve_star_pressure(
+        np.array([rl]), np.array([ul]), np.array([pl]),
+        np.array([rr]), np.array([ur]), np.array([pr]), GAMMA,
+    )
+    assert p_star[0] == pytest.approx(p_ref, rel=5e-3)
+    assert u_star[0] == pytest.approx(u_ref, abs=5e-3 * max(1.0, abs(u_ref)))
+    assert iters.shape == (1,)
+    assert 1 <= iters[0] <= MAX_ITER
+
+
+def test_toro_batch_matches_individual_solves():
+    """Active-set batching must not change any interface's trajectory."""
+    cols = list(zip(*(TORO_TESTS[k][:6] for k in sorted(TORO_TESTS))))
+    batch = [np.array(c, dtype=np.float64) for c in cols]
+    p_b, u_b, it_b = solve_star_pressure(*batch, GAMMA)
+    for i, name in enumerate(sorted(TORO_TESTS)):
+        vals = TORO_TESTS[name][:6]
+        p_i, u_i, it_i = solve_star_pressure(
+            *(np.array([v]) for v in vals), GAMMA)
+        assert p_b[i] == p_i[0]
+        assert u_b[i] == u_i[0]
+        assert it_b[i] == it_i[0]
+
+
+@pytest.mark.parametrize("mode", ["x", "y"])
+def test_batched_kernel_matches_per_line(mode):
+    states = StatesKernel()
+    U = synthetic_patch_stack(96 * 96, seed=3)
+    WL, WR = states.compute(U, mode)
+    kb = GodunovKernel(batch=True)
+    kl = GodunovKernel(batch=False)
+    Fb = kb.compute(WL, WR, mode)
+    Fl = kl.compute(WL, WR, mode)
+    assert float(np.abs(Fb - Fl).max()) <= 1.0e-12
+    assert np.array_equal(kb.last_iter_counts, kl.last_iter_counts)
+    assert kb.total_iterations == kl.total_iterations
+
+
+def test_iter_counts_shape_and_plausibility():
+    states = StatesKernel()
+    U = synthetic_patch_stack(64 * 64, seed=1)
+    WL, WR = states.compute(U, "x")
+    kern = GodunovKernel()
+    F = kern.compute(WL, WR, "x")
+    counts = kern.last_iter_counts
+    assert counts is not None
+    assert counts.shape == F.shape[1:]
+    assert counts.min() >= 1
+    assert counts.max() <= MAX_ITER
+    assert kern.total_iterations == int(counts.sum())
+
+
+def test_shock_adjacent_interfaces_iterate_more():
+    """Per-interface counts localize the data-dependent work at the shock."""
+    n = 32
+    rho = np.ones(n)
+    u = np.zeros(n)
+    p = np.full(n, 1.0)
+    wl = np.stack([rho, u, np.zeros(n), p])
+    wr = wl.copy()
+    # One strong-shock interface (Toro blast_left) in a uniform field.
+    j = n // 2
+    wl[:, j] = (1.0, 0.0, 0.0, 1000.0)
+    wr[:, j] = (1.0, 0.0, 0.0, 0.01)
+    _p, _u, iters = solve_star_pressure(
+        wl[0], wl[1], wl[3], wr[0], wr[1], wr[3], GAMMA)
+    smooth = np.delete(iters, j)
+    assert iters[j] > smooth.max()

@@ -41,9 +41,10 @@ class TestFig3Shape:
         # main is the 100% row
         assert res.rows[0][5].startswith("int main")
         assert res.rows[0][0] == pytest.approx(100.0)
-        # proxied compute methods appear with significant share
-        assert res.proxy_fractions[f"g_proxy::compute()"] > 0.05
-        assert res.proxy_fractions[f"sc_proxy::compute()"] > 0.05
+        # proxied compute methods appear with a visible share (smaller
+        # than the paper's since the batched kernels cut compute time)
+        assert res.proxy_fractions[f"g_proxy::compute()"] > 0.025
+        assert res.proxy_fractions[f"sc_proxy::compute()"] > 0.025
         # message passing is a visible fraction of the run
         assert res.mpi_fraction > 0.02
 
