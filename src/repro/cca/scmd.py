@@ -59,6 +59,8 @@ def run_scmd(
     repository: ComponentRepository | None = None,
     timeout_s: float = 300.0,
     extract: Callable[[Framework], Any] | None = None,
+    fault_plan=None,
+    resilience=None,
 ) -> ScmdResult:
     """Run a component application on ``nranks`` simulated processors.
 
@@ -76,8 +78,22 @@ def run_scmd(
         Called with each rank's framework after ``go`` completes; its
         return value lands in ``ScmdResult.extras[rank]``.  Use it to pull
         measurement records (e.g. the Mastermind's) out of rank threads.
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` to inject (a shared
+        :class:`~repro.faults.injector.FaultInjector` is built and attached
+        to the world); None runs fault-free.
+    resilience:
+        A :class:`~repro.faults.policy.ResiliencePolicy` enabling bounded
+        retry/recovery in the MPI layer and the proxies; None keeps the
+        non-resilient semantics.
     """
-    runner = ParallelRunner(nranks, network=network, seed=seed, timeout_s=timeout_s)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(fault_plan, nranks)
+    runner = ParallelRunner(nranks, network=network, seed=seed,
+                            timeout_s=timeout_s, injector=injector,
+                            policy=resilience)
 
     def rank_main(comm) -> tuple[Any, dict, dict, dict, Any]:
         profiler = Profiler(rank=comm.rank, cache=cache)

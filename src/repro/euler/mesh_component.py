@@ -92,6 +92,20 @@ class AMRMeshComponent(Component, MeshPort):
                     h.fill(lev, ic)
                     h.ghost_update(lev)
 
+    def restore(self, state: dict) -> None:
+        """Rebuild the hierarchy from a checkpoint state (bit-exact).
+
+        Replaces :meth:`initialize` on a restarted run: the hierarchy is
+        constructed with the same configuration, then every patch, field
+        array (ghosts included), uid counter and exchanger tag is loaded
+        from the saved state, so the continuation is bitwise identical to
+        the uninterrupted run.
+        """
+        from repro.faults.checkpoint import restore_hierarchy
+
+        self._hierarchy = self._build_hierarchy()
+        restore_hierarchy(self._hierarchy, state)
+
     def hierarchy(self) -> GridHierarchy:
         if self._hierarchy is None:
             raise RuntimeError("AMRMesh not initialized; call initialize(ic) first")

@@ -81,6 +81,10 @@ class MeshPort(Port):
         """Re-flag, re-cluster and re-balance; returns MPI time (us)."""
         raise NotImplementedError
 
+    def restore(self, state: dict) -> None:
+        """Rebuild the hierarchy bit-exactly from a checkpoint state."""
+        raise NotImplementedError
+
     def local_patches(self, level: int):
         raise NotImplementedError
 

@@ -6,9 +6,17 @@ steps the hierarchy, triggering a load-balancing regrid at the configured
 interval ("During the course of the simulation, the application was
 load-balanced once, resulting in a different domain decomposition" —
 Figure 9's two clusters).
+
+The step loop exposes pre/post-step hooks and a resume path for the fault
+subsystem: a pre-step hook may raise
+:class:`~repro.faults.injector.SimulatedCrash` to kill the run at a
+planned step, a post-step hook writes checkpoints, and ``resume_state``
+restarts the loop from a checkpoint instead of the initial condition.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -33,6 +41,15 @@ class ShockDriver(Component, GoPort):
         self._services: Services | None = None
         #: per-step time step sizes actually taken
         self.dt_history: list[float] = []
+        #: called with the step number before each step (crash injection)
+        self.pre_step_hooks: list[Callable[[int], None]] = []
+        #: called with the step number after each step (checkpointing)
+        self.post_step_hooks: list[Callable[[int], None]] = []
+        #: checkpoint payload to resume from instead of initializing
+        #: (dict with "mesh", "dt_history" and "next_step" entries)
+        self.resume_state: dict | None = None
+        #: first step of the most recent go() (0 unless resumed)
+        self.start_step = 0
 
     def set_services(self, services: Services) -> None:
         self._services = services
@@ -41,14 +58,29 @@ class ShockDriver(Component, GoPort):
         services.add_provides_port(self, "go", GoPort)
 
     def go(self) -> int:
-        """Run the configured number of coarse steps; 0 on success."""
+        """Run the configured number of coarse steps; 0 on success.
+
+        With ``resume_state`` set, the mesh is rebuilt bit-exactly from the
+        checkpoint and the loop continues at the saved ``next_step`` —
+        everything downstream (regrid cadence, dt, advances) is a pure
+        function of the restored fields, so the continuation matches an
+        uninterrupted run bitwise.
+        """
         if self._services is None:
             raise RuntimeError("ShockDriver not initialized by a framework")
         p = self.params
         mesh: MeshPort = self._services.get_port(self.MESH_USES)
         integrator: IntegratorPort = self._services.get_port(self.INTEGRATOR_USES)
-        mesh.initialize(shock_interface_ic(p, self.gamma))
-        for step in range(p.steps):
+        if self.resume_state is not None:
+            mesh.restore(self.resume_state["mesh"])
+            self.dt_history = list(self.resume_state["dt_history"])
+            self.start_step = int(self.resume_state["next_step"])
+        else:
+            mesh.initialize(shock_interface_ic(p, self.gamma))
+            self.start_step = 0
+        for step in range(self.start_step, p.steps):
+            for hook in self.pre_step_hooks:
+                hook(step)
             if step > 0 and p.regrid_every > 0 and step % p.regrid_every == 0:
                 mesh.regrid()
             dt = integrator.compute_dt(p.cfl)
@@ -56,4 +88,6 @@ class ShockDriver(Component, GoPort):
                 raise FloatingPointError(f"unstable time step {dt} at step {step}")
             self.dt_history.append(dt)
             integrator.advance(0, dt)
+            for hook in self.post_step_hooks:
+                hook(step)
         return 0

@@ -1,0 +1,112 @@
+"""Recovery semantics: timeouts, retries, backoff, and typed failures.
+
+A :class:`ResiliencePolicy` attached to a
+:class:`~repro.mpi.world.SimWorld` changes how blocked communication
+behaves:
+
+* **point-to-point** — a blocking receive (or a wait on posted receives)
+  that sees nothing for ``retry_timeout_s`` asks the world to *recover*
+  matching dropped envelopes from the senders' retransmission buffers; the
+  per-attempt wait then grows by ``backoff_factor`` (exponential backoff).
+  Each recovered message charges ``retransmit_cost_us`` of modeled time to
+  ``MPI_Retransmit`` — a deterministic amount, since the number of dropped
+  messages is fixed by the fault plan.  If a matching message is known to
+  be *unrecoverably* lost, the receiver gives up after ``max_attempts``
+  retry rounds with a typed :class:`CommFailure`.
+* **collectives** — each rank deposits once, then waits in bounded rounds
+  of ``collective_timeout_s`` (growing by the same backoff factor); after
+  ``max_attempts`` incomplete rounds the call raises :class:`CommFailure`
+  instead of hanging until the world's deadlock timeout.
+* **components** — a proxy that receives an injected transient error
+  retries the consultation up to ``max_attempts`` times, sleeping
+  ``component_backoff_s`` (doubling) between attempts.
+
+A healthy-but-slow run is never failed by the policy: without evidence of
+loss (no tombstone), a receiver keeps waiting — with backoff — until the
+world's ordinary deadlock timeout, exactly as in the non-resilient path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+class CommFailure(RuntimeError):
+    """A communication operation exhausted its bounded retry budget.
+
+    Raised instead of an indefinite hang when a message is unrecoverably
+    lost or a collective cannot complete within the policy's attempts.
+    """
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Retry/timeout configuration for the simulated MPI layer."""
+
+    #: bounded retry rounds before a typed CommFailure
+    max_attempts: int = 5
+    #: first per-attempt receive timeout (real seconds; the sim blocks in
+    #: real time while modeled time is charged separately)
+    retry_timeout_s: float = 0.05
+    #: per-attempt timeout growth (exponential backoff)
+    backoff_factor: float = 2.0
+    #: cap on the grown per-attempt timeout
+    max_retry_timeout_s: float = 2.0
+    #: first per-round collective wait (collectives tolerate long compute
+    #: phases on peer ranks, hence the larger default)
+    collective_timeout_s: float = 10.0
+    #: modeled time charged per recovered (retransmitted) message
+    retransmit_cost_us: float = 500.0
+    #: real sleep before a component-call retry (doubles per attempt)
+    component_backoff_s: float = 0.001
+    #: drop duplicate deliveries already consumed once (by send seq)
+    dedup: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("max_attempts", self.max_attempts)
+        check_positive("retry_timeout_s", self.retry_timeout_s)
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        check_positive("max_retry_timeout_s", self.max_retry_timeout_s)
+        check_positive("collective_timeout_s", self.collective_timeout_s)
+        check_non_negative("retransmit_cost_us", self.retransmit_cost_us)
+        check_non_negative("component_backoff_s", self.component_backoff_s)
+
+    def attempt_timeout_s(self, attempt: int) -> float:
+        """The (exponentially backed-off) wait for retry round ``attempt``."""
+        return min(self.retry_timeout_s * self.backoff_factor**attempt,
+                   self.max_retry_timeout_s)
+
+
+@dataclass
+class ResilienceStats:
+    """Per-rank counters of recovery activity during one run.
+
+    ``recovered`` (messages pulled from retransmission buffers) and
+    ``deduplicated`` are deterministic under a fixed plan + seed;
+    ``retry_rounds`` and ``collective_retries`` depend on real-time thread
+    scheduling and are reported, not asserted on.
+    """
+
+    retry_rounds: int = 0
+    recovered: int = 0
+    deduplicated: int = 0
+    collective_retries: int = 0
+    component_retries: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "retry_rounds": self.retry_rounds,
+            "recovered": self.recovered,
+            "deduplicated": self.deduplicated,
+            "collective_retries": self.collective_retries,
+            "component_retries": self.component_retries,
+            "failures": self.failures,
+        }
+
+    def merge(self, other: "ResilienceStats") -> None:
+        for key, val in other.as_dict().items():
+            setattr(self, key, getattr(self, key) + val)

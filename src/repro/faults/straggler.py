@@ -1,0 +1,98 @@
+"""Straggler detection from per-rank modeled MPI time.
+
+A rank suffering injected stalls (:class:`~repro.faults.plan.RankStall`)
+charges extra modeled microseconds to its MPI operations; because every
+rank of an SCMD job executes the same step loop, healthy ranks accumulate
+nearly identical MPI totals, and the straggler sticks out as an outlier
+against the median.  The detector is pure arithmetic over those totals —
+it plugs into the Mastermind's per-rank method records (whose
+``mpi_series`` carry the modeled charges) but does not import them, so it
+also works on raw ledger numbers.
+
+Detection feeds the online monitor
+(:meth:`repro.perf.online.OnlineMonitor.check_stragglers`), which turns a
+flagged rank into the model-guided component-swap path of paper Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class StragglerReport:
+    """Outcome of one straggler scan over per-rank MPI totals."""
+
+    totals_us: tuple[float, ...]
+    median_us: float
+    threshold_us: float
+    stragglers: tuple[int, ...]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.stragglers)
+
+    def __str__(self) -> str:
+        if not self.detected:
+            return f"no stragglers (median {self.median_us:.0f} us/rank)"
+        who = ", ".join(
+            f"rank {r} ({self.totals_us[r]:.0f} us)" for r in self.stragglers
+        )
+        return (
+            f"straggler(s): {who}; median {self.median_us:.0f} us, "
+            f"threshold {self.threshold_us:.0f} us"
+        )
+
+
+class StragglerDetector:
+    """Median-outlier detector over per-rank MPI time totals.
+
+    A rank is a straggler when its total exceeds ``factor`` times the
+    median of all ranks *and* beats the median by at least ``floor_us``
+    (the floor keeps tiny absolute differences on cheap runs from being
+    flagged).
+    """
+
+    def __init__(self, factor: float = 2.0, floor_us: float = 10_000.0) -> None:
+        check_positive("factor", factor)
+        check_non_negative("floor_us", floor_us)
+        self.factor = float(factor)
+        self.floor_us = float(floor_us)
+
+    def detect(self, totals_us: Sequence[float]) -> StragglerReport:
+        """Scan one vector of per-rank MPI totals (microseconds)."""
+        totals = np.asarray(list(totals_us), dtype=float)
+        if totals.size == 0:
+            return StragglerReport((), 0.0, 0.0, ())
+        median = float(np.median(totals))
+        threshold = max(self.factor * median, median + self.floor_us)
+        flagged = tuple(int(r) for r in np.nonzero(totals > threshold)[0])
+        return StragglerReport(
+            totals_us=tuple(float(t) for t in totals),
+            median_us=median,
+            threshold_us=threshold,
+            stragglers=flagged,
+        )
+
+
+def mpi_totals_by_rank(records_by_rank: Sequence[Mapping] | Mapping[int, Mapping]) -> list[float]:
+    """Per-rank modeled MPI totals from per-rank Mastermind record maps.
+
+    ``records_by_rank`` holds, per rank, a mapping of ``(label, method)`` to
+    :class:`~repro.perf.records.MethodRecord` (duck-typed: anything with a
+    ``total_mpi_us()``).  Accepts a list indexed by rank or a dict keyed by
+    rank.
+    """
+    if isinstance(records_by_rank, Mapping):
+        items = [records_by_rank[r] for r in sorted(records_by_rank)]
+    else:
+        items = list(records_by_rank)
+    return [
+        float(sum(rec.total_mpi_us() for rec in records.values()))
+        for records in items
+    ]

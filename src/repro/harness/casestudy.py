@@ -14,6 +14,12 @@ from typing import Any
 from repro.cca.framework import Framework
 from repro.cca.scmd import ScmdResult, run_scmd
 from repro.euler.efm import EFMFluxComponent
+from repro.faults.checkpoint import (CheckpointConfig, Checkpointer,
+                                     hierarchy_state, latest_step,
+                                     load_rank_state)
+from repro.faults.injector import SimulatedCrash
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.euler.godunov import GodunovFluxComponent
 from repro.euler.inviscid import InviscidFluxComponent
 from repro.euler.mesh_component import AMRMeshComponent
@@ -57,6 +63,16 @@ class CaseStudyConfig:
     balancer: str = "knapsack"
     #: also proxy InviscidFlux's rhs port (call-path nesting for the dual)
     proxy_rhs: bool = True
+    #: fault-injection plan (None runs fault-free)
+    fault_plan: FaultPlan | None = None
+    #: MPI/proxy retry-and-recovery policy (None keeps non-resilient runs)
+    resilience: ResiliencePolicy | None = None
+    #: periodic checkpointing of mesh + driver + Mastermind state
+    checkpoint: CheckpointConfig | None = None
+    #: resume from the newest complete checkpoint in ``checkpoint.directory``
+    resume: bool = False
+    #: wall-clock deadlock timeout handed to the simulated world
+    timeout_s: float = 300.0
 
 
 @dataclass
@@ -68,6 +84,15 @@ class RankHarvest:
     records: dict[tuple[str, str], Any]
     callpath_edges: dict[tuple[str, str], int]
     wiring_nodes: list[str]
+    #: bit-exact hierarchy state at the end of the run (restart fidelity)
+    mesh_state: dict | None = None
+    #: per-step dt sizes actually taken by the driver
+    dt_history: list[float] = field(default_factory=list)
+    #: this rank's ResilienceStats counters
+    resilience: dict[str, int] | None = None
+    #: steps this rank checkpointed / bytes it wrote doing so
+    checkpoint_steps: list[int] = field(default_factory=list)
+    checkpoint_bytes: int = 0
 
 
 def compose_case_study(fw: Framework, config: CaseStudyConfig) -> None:
@@ -84,33 +109,84 @@ def compose_case_study(fw: Framework, config: CaseStudyConfig) -> None:
     fw.create("rk2", RK2Component)
     mesh = fw.create("mesh", AMRMeshComponent, params=config.params,
                      balancer=config.balancer)
-    fw.create("driver", ShockDriver, params=config.params)
+    driver = fw.create("driver", ShockDriver, params=config.params)
     fw.connect("inviscid", "states", "states", "states")
     fw.connect("inviscid", "flux", "flux", "flux")
     fw.connect("rk2", "mesh", "mesh", "mesh")
     fw.connect("rk2", "rhs", "inviscid", "rhs")
     fw.connect("driver", "mesh", "mesh", "mesh")
     fw.connect("driver", "integrator", "rk2", "integrator")
-    if not config.instrument:
+    mastermind = None
+    if config.instrument:
+        fw.create("tau", TauMeasurementComponent)
+        mastermind = fw.create("mastermind", Mastermind)
+        fw.connect("mastermind", "measurement", "tau", "measurement")
+        insert_proxy(fw, "inviscid", "states", "mastermind", label=STATES_PROXY)
+        insert_proxy(fw, "inviscid", "flux", "mastermind", label=FLUX_PROXY)
+        if config.proxy_rhs:
+            insert_proxy(fw, "rk2", "rhs", "mastermind", label=RHS_PROXY)
+
+        def _mesh_params(args: tuple, kwargs: dict) -> dict:
+            level = args[0] if args else kwargs.get("level", 0)
+            h = mesh._hierarchy
+            return {"level": int(level),
+                    "decomp": h.regrid_count if h is not None else 0}
+
+        insert_proxy(
+            fw, "rk2", "mesh", "mastermind", label=MESH_PROXY,
+            methods=["ghost_update", "sync_down"],
+            extractors={"ghost_update": _mesh_params, "sync_down": _mesh_params},
+        )
+    _wire_resilience(fw, config, driver, mesh, mastermind)
+
+
+def _wire_resilience(fw: Framework, config: CaseStudyConfig, driver: ShockDriver,
+                     mesh: AMRMeshComponent, mastermind: Mastermind | None) -> None:
+    """Attach crash, checkpoint and resume behavior to the driver's loop."""
+    comm = fw.comm
+    injector = comm.world.injector if comm is not None else None
+    rank = comm.rank if comm is not None else 0
+    nranks = comm.world.nranks if comm is not None else 1
+
+    if injector is not None and injector.plan.kill_at_step is not None:
+        def crash(step: int) -> None:
+            if injector.crash_due(rank, step):
+                injector.note(rank, "fault.crash", float(step))
+                raise SimulatedCrash(f"rank {rank} killed before step {step}")
+        driver.pre_step_hooks.append(crash)
+
+    ckpt_cfg = config.checkpoint
+    if ckpt_cfg is None or not ckpt_cfg.enabled:
         return
-    fw.create("tau", TauMeasurementComponent)
-    fw.create("mastermind", Mastermind)
-    fw.connect("mastermind", "measurement", "tau", "measurement")
-    insert_proxy(fw, "inviscid", "states", "mastermind", label=STATES_PROXY)
-    insert_proxy(fw, "inviscid", "flux", "mastermind", label=FLUX_PROXY)
-    if config.proxy_rhs:
-        insert_proxy(fw, "rk2", "rhs", "mastermind", label=RHS_PROXY)
+    ckpt = Checkpointer(ckpt_cfg, rank=rank, nranks=nranks, comm=comm,
+                        injector=injector)
+    # Parked on the driver so _harvest can report checkpoint overhead.
+    driver.checkpointer = ckpt
 
-    def _mesh_params(args: tuple, kwargs: dict) -> dict:
-        level = args[0] if args else kwargs.get("level", 0)
-        h = mesh._hierarchy
-        return {"level": int(level), "decomp": h.regrid_count if h is not None else 0}
+    def save(step: int) -> None:
+        if not ckpt.due(step):
+            return
+        state = {
+            "mesh": hierarchy_state(mesh.hierarchy()),
+            "dt_history": list(driver.dt_history),
+            "next_step": step + 1,
+            "mastermind": (mastermind.records_state()
+                           if mastermind is not None else None),
+        }
+        ckpt.save(step, state)
+    driver.post_step_hooks.append(save)
 
-    insert_proxy(
-        fw, "rk2", "mesh", "mastermind", label=MESH_PROXY,
-        methods=["ghost_update", "sync_down"],
-        extractors={"ghost_update": _mesh_params, "sync_down": _mesh_params},
-    )
+    if config.resume:
+        step = latest_step(ckpt_cfg.directory)
+        if step is None:
+            raise FileNotFoundError(
+                f"resume requested but no checkpoint manifest in "
+                f"{ckpt_cfg.directory!r}"
+            )
+        state = load_rank_state(ckpt_cfg.directory, step, rank)
+        driver.resume_state = state
+        if mastermind is not None and state.get("mastermind") is not None:
+            mastermind.restore_records(state["mastermind"])
 
 
 def _harvest(fw: Framework) -> RankHarvest | None:
@@ -118,11 +194,24 @@ def _harvest(fw: Framework) -> RankHarvest | None:
         mm: Mastermind = fw.component("mastermind")
     except KeyError:
         return None
+    driver: ShockDriver = fw.component("driver")
+    mesh: AMRMeshComponent = fw.component("mesh")
+    comm = fw.comm
+    resilience = None
+    if comm is not None and comm.world.policy is not None:
+        resilience = comm.world.resilience[comm.rank].as_dict()
+    ckpt = getattr(driver, "checkpointer", None)
     return RankHarvest(
         mastermind=mm,
         records={rec.key: rec for rec in mm.all_records()},
         callpath_edges=dict(mm.callpath.edge_counts),
         wiring_nodes=fw.instance_names(),
+        mesh_state=(hierarchy_state(mesh._hierarchy)
+                    if mesh._hierarchy is not None else None),
+        dt_history=list(driver.dt_history),
+        resilience=resilience,
+        checkpoint_steps=list(ckpt.saved_steps) if ckpt is not None else [],
+        checkpoint_bytes=ckpt.bytes_written if ckpt is not None else 0,
     )
 
 
@@ -130,7 +219,11 @@ def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
     """Run the case study on ``config.nranks`` simulated processors.
 
     ``result.extras[rank]`` holds each rank's :class:`RankHarvest` when
-    instrumentation is on.
+    instrumentation is on.  With ``config.fault_plan`` set the run is
+    subjected to the plan's faults; ``config.resilience`` turns on the MPI
+    and proxy recovery machinery; ``config.checkpoint`` periodically saves
+    restartable state and ``config.resume`` continues a killed run from the
+    newest complete checkpoint (bitwise identical to an uninterrupted run).
     """
     config = config or CaseStudyConfig()
     return run_scmd(
@@ -140,4 +233,7 @@ def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
         network=config.network,
         seed=config.seed,
         extract=_harvest,
+        timeout_s=config.timeout_s,
+        fault_plan=config.fault_plan,
+        resilience=config.resilience,
     )

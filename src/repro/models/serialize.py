@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.models.fits import ModelFit
 from repro.models.performance import PerformanceModel
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["fit_to_dict", "fit_from_dict", "model_to_dict",
            "model_from_dict", "ModelRepository"]
@@ -115,12 +116,14 @@ class ModelRepository:
         return os.path.join(self.directory, f"{safe}.json")
 
     def store(self, functionality: str, model: PerformanceModel) -> str:
-        """Persist a model under its implementation name; returns the path."""
+        """Persist a model under its implementation name; returns the path.
+
+        The write is atomic (temp file + ``os.replace``), so a crash
+        mid-store cannot corrupt a previously saved model.
+        """
         path = self._path(functionality, model.name)
         payload = {"functionality": functionality, "model": model_to_dict(model)}
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        return path
+        return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
     def load(self, functionality: str, impl_name: str) -> PerformanceModel:
         """Load one stored model (FileNotFoundError if absent)."""

@@ -16,6 +16,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import DROP as FAULT_DROP
+from repro.faults.plan import DUPLICATE as FAULT_DUPLICATE
+from repro.faults.policy import CommFailure
 from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope, Status
 from repro.mpi.network import payload_nbytes
 from repro.mpi.request import RecvRequest, Request, SendRequest
@@ -79,7 +82,15 @@ class SimComm:
         return self.world.rngs[self.rank]
 
     def charge(self, routine: str, cost_us: float) -> None:
-        """Record modeled time for ``routine`` on this rank."""
+        """Record modeled time for ``routine`` on this rank.
+
+        An attached fault injector may add a stall: extra modeled
+        microseconds charged to the same routine, making this rank a
+        straggler in the ledgers without slowing the run in real time.
+        """
+        injector = self.world.injector
+        if injector is not None:
+            cost_us += injector.on_mpi_op(self.rank, routine)
         self.accounting.record(routine, cost_us)
 
     # ---------------------------------------------------- point-to-point
@@ -94,8 +105,67 @@ class SimComm:
             nbytes=nbytes,
             cost_us=net.p2p_cost(nbytes, self.rng),
         )
+        injector = self.world.injector
+        if injector is not None:
+            action = injector.on_send(self.rank, dest, tag)
+            if action.kind == FAULT_DROP:
+                # Never reaches the mailbox; recoverable drops wait in the
+                # retransmission buffer, unrecoverable ones leave a
+                # tombstone the receiver's bounded retries will find.
+                self.world.stash_dropped(self.context, env, action.recoverable)
+                return nbytes
+            if action.kind == FAULT_DUPLICATE:
+                self.world.deliver(self.context, env)
+                # Same send sequence number: a resilient receiver
+                # deduplicates; a non-resilient one sees a spurious extra
+                # message, exactly like a retransmission race.
+                self.world.deliver(self.context, Envelope(
+                    source=env.source, dest=env.dest, tag=env.tag,
+                    payload=_copy_payload(env.payload), nbytes=env.nbytes,
+                    cost_us=env.cost_us, seq=env.seq,
+                ))
+                return nbytes
+            if action.kind is not None:  # delay
+                env.cost_us = env.cost_us * action.delay_factor + action.delay_us
         self.world.deliver(self.context, env)
         return nbytes
+
+    def _match_resilient(self, source: int, tag: int) -> Envelope:
+        """Blocking match with bounded retry + recovery when a resilience
+        policy is attached (plain deadlock-bounded match otherwise).
+
+        Each empty retry round triggers retransmission of matching dropped
+        envelopes (charged ``retransmit_cost_us`` apiece under
+        ``MPI_Retransmit``); the per-attempt timeout grows exponentially.
+        Exhausting the budget raises a typed :class:`CommFailure` only when
+        the message is provably lost (a tombstone matches) — a healthy but
+        slow peer falls back to the ordinary deadlock timeout.
+        """
+        world = self.world
+        policy = world.policy
+        if policy is None or world.injector is None:
+            return world.match(self.context, self.rank, source, tag)
+        stats = world.resilience[self.rank]
+        for attempt in range(policy.max_attempts):
+            env = world.match_timeout(self.context, self.rank, source, tag,
+                                      policy.attempt_timeout_s(attempt))
+            if env is not None:
+                return env
+            stats.retry_rounds += 1
+            recovered = world.recover_dropped(self.context, self.rank, source, tag)
+            if recovered:
+                self.charge("MPI_Retransmit", recovered * policy.retransmit_cost_us)
+                env = world.try_match(self.context, self.rank, source, tag)
+                if env is not None:
+                    return env
+        if world.lost_forever(self.context, self.rank, source, tag):
+            stats.failures += 1
+            raise CommFailure(
+                f"rank {self.rank}: no message (source={source}, tag={tag}, "
+                f"context={self.context!r}) after {policy.max_attempts} retry "
+                "round(s); a matching message was unrecoverably dropped"
+            )
+        return world.match(self.context, self.rank, source, tag)
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send: copy, deliver, charge injection cost."""
@@ -112,7 +182,7 @@ class SimComm:
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Status | None = None
     ) -> Any:
         """Blocking receive; charged the message's modeled transfer cost."""
-        env = self.world.match(self.context, self.rank, source, tag)
+        env = self._match_resilient(source, tag)
         self.charge("MPI_Recv", env.cost_us)
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
@@ -134,8 +204,11 @@ class SimComm:
             return False
         # Probing must not dequeue: put it back at the front of matching
         # order by re-delivering (seq ordering keeps FIFO per source/tag
-        # because try_match popped the earliest match).
+        # because try_match popped the earliest match).  The pop marked the
+        # seq consumed for dedup purposes; undo that or the re-delivered
+        # envelope would be discarded as a duplicate.
         self.world.deliver(self.context, env)
+        self.world.unmark_consumed(self.context, self.rank, env.seq)
         self.charge("MPI_Iprobe", self.world.network.min_cost_us)
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
@@ -144,8 +217,9 @@ class SimComm:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
               status: Status | None = None) -> None:
         """Blocking probe: wait until a matching message is available."""
-        env = self.world.match(self.context, self.rank, source, tag)
+        env = self._match_resilient(source, tag)
         self.world.deliver(self.context, env)
+        self.world.unmark_consumed(self.context, self.rank, env.seq)
         self.charge("MPI_Probe", self.world.network.min_cost_us)
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
@@ -154,7 +228,7 @@ class SimComm:
                  source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
         """Combined send+receive (deadlock-free under the buffered model)."""
         self._post_send(obj, dest, sendtag)
-        env = self.world.match(self.context, self.rank, source, recvtag)
+        env = self._match_resilient(source, recvtag)
         self.charge("MPI_Sendrecv", env.cost_us + self.world.network.min_cost_us)
         return env.payload
 
@@ -162,6 +236,9 @@ class SimComm:
     def _exchange(self, value: Any) -> list[Any]:
         seq = self._coll_seq
         self._coll_seq += 1
+        if self.world.policy is not None:
+            return self.world.exchange_resilient(
+                self.context, seq, self.rank, value, self.world.policy)
         return self.world.exchange(self.context, seq, self.rank, value)
 
     def _charge_collective(self, routine: str, nbytes: int) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.faults.policy import CommFailure
 from repro.mpi.message import ANY_SOURCE, ANY_TAG, Status
 from repro.mpi.world import SimMPIError
 
@@ -99,7 +100,7 @@ class RecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> Any:
         if not self._complete:
-            env = self._comm.world.match(self._comm.context, self._comm.rank, self.source, self.tag)
+            env = self._comm._match_resilient(self.source, self.tag)
             self._absorb(env, status)
             self._comm.charge("MPI_Wait", self._cost_us)
         return self._payload
@@ -110,6 +111,14 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
 
     All requests must belong to the same rank's communicators.  Uses the
     rank's mailbox condition to sleep between matching attempts.
+
+    Under a resilience policy the wait runs in bounded retry rounds: an
+    empty round recovers matching dropped envelopes for every pending
+    receive (charging ``MPI_Retransmit``), and after ``max_attempts``
+    rounds a pending receive whose message is provably lost (tombstoned)
+    raises a typed :class:`CommFailure`.  With no evidence of loss the
+    wait falls back to the ordinary deadlock timeout — slow peers are not
+    failures.
     """
     if not requests:
         return []
@@ -120,12 +129,17 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
     pending = [i for i, r in enumerate(requests) if not r.complete]
     if not pending:
         return []
-    cond = comm.world.mailbox_cond(comm.rank)
-    deadline = time.monotonic() + comm.world.timeout_s
+    world = comm.world
+    policy = world.policy
+    resilient = policy is not None and world.injector is not None
+    cond = world.mailbox_cond(comm.rank)
+    deadline = time.monotonic() + world.timeout_s
+    attempt = 0
+    next_retry = (time.monotonic() + policy.attempt_timeout_s(0)) if resilient else None
     completed: list[int] = []
     with cond:
         while True:
-            if comm.world.aborted:
+            if world.aborted:
                 raise SimMPIError("simulated MPI job aborted during wait")
             still = []
             for i in pending:
@@ -137,13 +151,45 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
             done = (not pending) if want_all else bool(completed)
             if done:
                 return completed
-            remaining = deadline - time.monotonic()
+            now = time.monotonic()
+            remaining = deadline - now
             if remaining <= 0:
                 raise SimMPIError(
                     f"rank {comm.rank} timed out waiting on {len(pending)} "
                     "request(s) — likely deadlock"
                 )
-            cond.wait(min(remaining, 0.5))
+            if resilient and now >= next_retry:
+                world.resilience[comm.rank].retry_rounds += 1
+                recovered = 0
+                receives = [requests[i] for i in pending
+                            if isinstance(requests[i], RecvRequest)]
+                for r in receives:
+                    recovered += world.recover_dropped(
+                        r._comm.context, comm.rank, r.source, r.tag)
+                if recovered:
+                    comm.charge("MPI_Retransmit",
+                                recovered * policy.retransmit_cost_us)
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    lost = [r for r in receives if world.lost_forever(
+                        r._comm.context, comm.rank, r.source, r.tag)]
+                    if lost:
+                        world.resilience[comm.rank].failures += 1
+                        r = lost[0]
+                        raise CommFailure(
+                            f"rank {comm.rank}: receive (source={r.source}, "
+                            f"tag={r.tag}) unmatched after {attempt} retry "
+                            "round(s); a matching message was unrecoverably "
+                            "dropped"
+                        )
+                    resilient = False  # healthy but slow: plain timeout only
+                else:
+                    next_retry = now + policy.attempt_timeout_s(attempt)
+                continue  # re-test immediately after any recovery
+            wait_s = min(remaining, 0.5)
+            if resilient:
+                wait_s = min(wait_s, max(next_retry - now, 0.0))
+            cond.wait(wait_s)
 
 
 def waitsome(requests: Sequence[Request]) -> list[int]:

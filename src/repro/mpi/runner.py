@@ -50,12 +50,17 @@ class ParallelRunner:
         network: NetworkModel | None = None,
         seed: int | None = 0,
         timeout_s: float = 120.0,
+        injector=None,
+        policy=None,
     ) -> None:
         check_positive("nranks", nranks)
         self.nranks = int(nranks)
         self.network = network or NetworkModel()
         self.seed = seed
         self.timeout_s = float(timeout_s)
+        #: optional FaultInjector / ResiliencePolicy attached to each world
+        self.injector = injector
+        self.policy = policy
         #: the world of the most recent ``run`` (exposes per-rank accounting)
         self.last_world: SimWorld | None = None
 
@@ -66,7 +71,8 @@ class ParallelRunner:
         a :class:`RankFailure` is raised after all threads join.
         """
         world = SimWorld(self.nranks, network=self.network, seed=self.seed,
-                         timeout_s=self.timeout_s)
+                         timeout_s=self.timeout_s, injector=self.injector,
+                         policy=self.policy)
         self.last_world = world
         results: list[Any] = [None] * self.nranks
         failures: dict[int, str] = {}

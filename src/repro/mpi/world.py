@@ -9,7 +9,13 @@ A :class:`SimWorld` holds, for a job of P ranks:
 * per-rank :class:`~repro.mpi.accounting.MPIAccounting` ledgers and jitter
   RNG streams,
 * an abort flag so that when one rank fails, ranks blocked in communication
-  wake up and raise instead of deadlocking.
+  wake up and raise instead of deadlocking,
+* optionally, a :class:`~repro.faults.injector.FaultInjector` plus a
+  :class:`~repro.faults.policy.ResiliencePolicy`: dropped envelopes land in
+  a per-destination retransmission buffer (recoverable) or a tombstone list
+  (lost forever), receivers deduplicate injected duplicates by send
+  sequence number, and per-rank
+  :class:`~repro.faults.policy.ResilienceStats` count recovery activity.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import threading
 import time
 from typing import Any
 
+from repro.faults.policy import CommFailure, ResiliencePolicy, ResilienceStats
 from repro.mpi.accounting import MPIAccounting
 from repro.mpi.message import Envelope
 from repro.mpi.network import NetworkModel
@@ -52,6 +59,8 @@ class SimWorld:
         network: NetworkModel | None = None,
         seed: int | None = 0,
         timeout_s: float = 120.0,
+        injector=None,
+        policy: ResiliencePolicy | None = None,
     ) -> None:
         check_positive("nranks", nranks)
         check_positive("timeout_s", timeout_s)
@@ -61,10 +70,23 @@ class SimWorld:
         self.rngs = spawn_rngs(seed, self.nranks)
         self.accounting = [MPIAccounting() for _ in range(self.nranks)]
 
+        # Fault injection and recovery (both optional and independent: an
+        # injector without a policy reproduces failures un-handled; a
+        # policy without an injector is simply never exercised).
+        self.injector = injector
+        self.policy = policy
+        self.resilience = [ResilienceStats() for _ in range(self.nranks)]
+
         # Point-to-point: mailbox per (context, dest rank); one condition
         # per dest rank shared by all contexts.
         self._mail_conds = [threading.Condition() for _ in range(self.nranks)]
         self._mailboxes: dict[tuple[str, int], list[Envelope]] = {}
+        # Retransmission buffers / tombstones for injected drops, and the
+        # consumed-seq sets receivers deduplicate against.  All three are
+        # keyed like mailboxes and guarded by the destination's condition.
+        self._dropped: dict[tuple[str, int], list[Envelope]] = {}
+        self._tombstones: dict[tuple[str, int], list[Envelope]] = {}
+        self._consumed: dict[tuple[str, int], set[int]] = {}
 
         # Collectives: one lock/condition for the whole slot table (P is
         # small; contention is negligible).
@@ -132,14 +154,36 @@ class SimWorld:
         box = self._mailboxes.get((context, rank))
         if not box:
             return None
-        # Match by lowest send sequence number, not list position: probes
-        # may re-deliver envelopes out of order, and MPI's non-overtaking
-        # rule is defined on send order.
-        best_i = -1
-        for i, env in enumerate(box):
-            if env.matches(source, tag) and (best_i < 0 or env.seq < box[best_i].seq):
-                best_i = i
-        return box.pop(best_i) if best_i >= 0 else None
+        dedup = (self.policy is not None and self.policy.dedup
+                 and self.injector is not None)
+        while True:
+            # Match by lowest send sequence number, not list position:
+            # probes may re-deliver envelopes out of order, and MPI's
+            # non-overtaking rule is defined on send order.
+            best_i = -1
+            for i, env in enumerate(box):
+                if env.matches(source, tag) and (best_i < 0 or env.seq < box[best_i].seq):
+                    best_i = i
+            if best_i < 0:
+                return None
+            env = box.pop(best_i)
+            if dedup:
+                consumed = self._consumed.setdefault((context, rank), set())
+                if env.seq in consumed:
+                    # An injected duplicate of a message already received:
+                    # discard and keep looking.
+                    self.resilience[rank].deduplicated += 1
+                    self.injector.note(rank, "mpi.deduplicated")
+                    continue
+                consumed.add(env.seq)
+            return env
+
+    def unmark_consumed(self, context: str, rank: int, seq: int) -> None:
+        """Forget that ``seq`` was consumed (probe paths re-deliver the
+        envelope they popped, which must stay receivable)."""
+        cond = self._mail_conds[rank]
+        with cond:
+            self._consumed.get((context, rank), set()).discard(seq)
 
     def mailbox_cond(self, rank: int) -> threading.Condition:
         """Condition variable guarding ``rank``'s mailbox (for waitsome)."""
@@ -150,6 +194,65 @@ class SimWorld:
         cond = self._mail_conds[rank]
         with cond:
             return len(self._mailboxes.get((context, rank), []))
+
+    # ------------------------------------------------- drop/recovery store
+    def stash_dropped(self, context: str, env: Envelope, recoverable: bool) -> None:
+        """Record an injected drop: recoverable envelopes wait in the
+        sender-side retransmission buffer; unrecoverable ones become
+        tombstones (evidence of permanent loss for the receiver's bounded
+        retry logic)."""
+        cond = self._mail_conds[env.dest]
+        store = self._dropped if recoverable else self._tombstones
+        with cond:
+            store.setdefault((context, env.dest), []).append(env)
+
+    def recover_dropped(self, context: str, rank: int, source: int, tag: int) -> int:
+        """Retransmit: move every matching buffered drop into the mailbox.
+
+        Called by a receiver whose per-attempt timeout expired; models the
+        sender-side retransmission a real resilient transport performs.
+        Returns the number of recovered envelopes.
+        """
+        cond = self._mail_conds[rank]
+        with cond:
+            buf = self._dropped.get((context, rank))
+            if not buf:
+                return 0
+            matched = [env for env in buf if env.matches(source, tag)]
+            if not matched:
+                return 0
+            self._dropped[(context, rank)] = [e for e in buf if e not in matched]
+            self._mailboxes.setdefault((context, rank), []).extend(matched)
+            self.resilience[rank].recovered += len(matched)
+            if self.injector is not None:
+                for _ in matched:
+                    self.injector.note(rank, "mpi.recovered")
+            cond.notify_all()
+            return len(matched)
+
+    def lost_forever(self, context: str, rank: int, source: int, tag: int) -> bool:
+        """Is a matching message known to be unrecoverably lost?"""
+        cond = self._mail_conds[rank]
+        with cond:
+            stones = self._tombstones.get((context, rank), [])
+            return any(env.matches(source, tag) for env in stones)
+
+    def match_timeout(self, context: str, rank: int, source: int, tag: int,
+                      timeout_s: float) -> Envelope | None:
+        """Like :meth:`match`, but give up after ``timeout_s`` (one bounded
+        retry round) and return None instead of raising."""
+        cond = self._mail_conds[rank]
+        deadline = time.monotonic() + timeout_s
+        with cond:
+            while True:
+                self._check_abort()
+                env = self._pop_locked(context, rank, source, tag)
+                if env is not None:
+                    return env
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                cond.wait(min(remaining, 0.5))
 
     # ---------------------------------------------------------- collective
     def exchange(self, context: str, seq: int, rank: int, value: Any) -> list[Any]:
@@ -188,6 +291,67 @@ class SimWorld:
                         "mismatched collective calls"
                     )
                 self._coll_cond.wait(min(remaining, 0.5))
+            result = [slot.values[r] for r in range(self.nranks)]
+            slot.readers += 1
+            if slot.readers == self.nranks:
+                del self._coll_slots[key]
+            return result
+
+    def exchange_resilient(self, context: str, seq: int, rank: int, value: Any,
+                           policy: ResiliencePolicy) -> list[Any]:
+        """Bounded-retry variant of :meth:`exchange`.
+
+        Waits in ``policy.max_attempts`` rounds of
+        ``policy.collective_timeout_s`` (growing by the backoff factor);
+        an incomplete round counts a collective retry, and exhausting the
+        budget raises a typed :class:`~repro.faults.policy.CommFailure`
+        instead of hanging until the world's deadlock timeout.  The overall
+        wait is additionally capped by ``timeout_s`` like the plain path.
+        """
+        key = (context, seq)
+        hard_deadline = time.monotonic() + self.timeout_s
+        with self._coll_cond:
+            slot = self._coll_slots.get(key)
+            if slot is None:
+                slot = _CollectiveSlot()
+                self._coll_slots[key] = slot
+            if rank in slot.values:
+                raise SimMPIError(
+                    f"rank {rank} deposited twice into collective {key}; "
+                    "collectives must be called in the same order on all ranks"
+                )
+            slot.values[rank] = value
+            slot.deposited += 1
+            if slot.deposited == self.nranks:
+                slot.ready = True
+                self._coll_cond.notify_all()
+            attempt = 0
+            round_deadline = time.monotonic() + min(
+                policy.collective_timeout_s, self.timeout_s)
+            while not slot.ready:
+                self._check_abort()
+                now = time.monotonic()
+                if now >= hard_deadline:
+                    raise SimMPIError(
+                        f"rank {rank} timed out in collective {key}: only "
+                        f"{slot.deposited}/{self.nranks} ranks arrived — likely "
+                        "mismatched collective calls"
+                    )
+                if now >= round_deadline:
+                    attempt += 1
+                    self.resilience[rank].retry_rounds += 1
+                    if attempt >= policy.max_attempts:
+                        self.resilience[rank].failures += 1
+                        raise CommFailure(
+                            f"rank {rank}: collective {key} incomplete after "
+                            f"{attempt} bounded round(s) "
+                            f"({slot.deposited}/{self.nranks} ranks arrived)"
+                        )
+                    self.resilience[rank].collective_retries += 1
+                    round_deadline = now + policy.collective_timeout_s * (
+                        policy.backoff_factor ** attempt)
+                    continue
+                self._coll_cond.wait(min(round_deadline - now, 0.5))
             result = [slot.values[r] for r in range(self.nranks)]
             slot.readers += 1
             if slot.readers == self.nranks:

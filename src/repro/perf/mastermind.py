@@ -233,12 +233,35 @@ class Mastermind(Component, MonitorPort):
             title="Mastermind measurement report:",
         )
 
+    # -------------------------------------------------------- checkpoint
+    def records_state(self) -> list[dict]:
+        """Serializable state of every method record (checkpoint payload)."""
+        return [rec.to_dict() for rec in self.all_records()]
+
+    def restore_records(self, state: list[dict]) -> None:
+        """Reload records from :meth:`records_state` output.
+
+        Replaces any records accumulated so far; used by checkpoint/restart
+        so a resumed run's measurement history is identical to an
+        uninterrupted one.
+        """
+        if self._active:
+            raise RuntimeError(
+                f"cannot restore records with {len(self._active)} open invocation(s)"
+            )
+        self._records = {}
+        for data in state:
+            rec = MethodRecord.from_dict(data)
+            self._records[rec.key] = rec
+
     # -------------------------------------------------------------- dump
     def dump_all(self, directory: str) -> list[str]:
         """Write every method record to ``directory``; returns file paths.
 
         This is the record-destruction output of Section 4.3, invoked
         explicitly (Python object lifetimes make destructor I/O unreliable).
+        Each file is written atomically (see
+        :meth:`~repro.perf.records.MethodRecord.dump`).
         """
         os.makedirs(directory, exist_ok=True)
         paths = []

@@ -154,3 +154,47 @@ class OnlineMonitor:
         framework.replace_component(instance_name, choice.component_class)
         report.replaced_with = choice.component_class.__name__
         return report
+
+    # ------------------------------------------------------------------ #
+    def check_stragglers(self, totals_us: Sequence[float], detector=None):
+        """Scan per-rank MPI totals for stragglers.
+
+        ``totals_us`` is one value per rank (e.g. from
+        :func:`repro.faults.straggler.mpi_totals_by_rank` over per-rank
+        Mastermind records); returns a
+        :class:`~repro.faults.straggler.StragglerReport`.
+        """
+        from repro.faults.straggler import StragglerDetector
+
+        return (detector or StragglerDetector()).detect(totals_us)
+
+    def reoptimize_on_stragglers(
+        self,
+        totals_us: Sequence[float],
+        exp: Expectation,
+        framework: Framework,
+        instance_name: str,
+        candidates: Sequence[Candidate],
+        detector=None,
+    ) -> DriftReport:
+        """Straggler-driven variant of :meth:`check_and_reoptimize`.
+
+        An injected (or real) stall inflates a rank's modeled MPI time
+        without touching its sliding-window wall-time statistics, so the
+        per-invocation drift check can stay quiet while the job as a whole
+        degrades.  Here the cross-rank straggler signal forces the
+        model-guided decision: when any rank is flagged, consult the
+        candidate models on the observed workload and swap in a cheaper
+        implementation if one exists.
+        """
+        straggler = self.check_stragglers(totals_us, detector=detector)
+        report = self.check(exp)
+        if not straggler.detected:
+            return report
+        report.drifting = True
+        choice = self.recommend(exp, candidates)
+        if choice is None:
+            return report
+        framework.replace_component(instance_name, choice.component_class)
+        report.replaced_with = choice.component_class.__name__
+        return report

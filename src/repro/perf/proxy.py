@@ -24,12 +24,15 @@ actually measure the performance of a component."
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Mapping
 
 from repro.cca.component import Component
 from repro.cca.framework import Framework
 from repro.cca.ports import Port, port_methods
 from repro.cca.services import Services
+from repro.faults.injector import TransientComponentError
+from repro.faults.plan import COMPONENT_DELAY, RAISE
 from repro.perf.monitor import MonitorPort
 
 #: attribute set on interface methods by the perf_params mark-up
@@ -73,9 +76,41 @@ def _make_forwarder(
 
         def fwd(self, *args: Any, **kwargs: Any) -> Any:
             params = dict(extractor(args, kwargs)) if extractor else {}
+            # Injected faults resolve before monitoring starts, like the
+            # parameter extraction: a transient raise is retried (each
+            # retry re-consults the injector, advancing the fault's
+            # occurrence counter) so only the surviving forwarded call is
+            # measured.  An injected *delay* instead sleeps inside the
+            # monitored region — the latency spike must be visible to the
+            # Mastermind's records and the online drift detector.
+            action = None
+            ctx = self._fault_ctx() if self._fault_ctx is not None else None
+            if ctx is not None:
+                injector, policy, rank, stats = ctx
+                attempt = 0
+                while True:
+                    action = injector.on_component_call(rank, self._label, method)
+                    if action is None or action.kind != RAISE:
+                        break
+                    if policy is None:
+                        raise TransientComponentError(
+                            f"{self._label}.{method}: injected failure"
+                        )
+                    attempt += 1
+                    if attempt >= policy.max_attempts:
+                        stats.failures += 1
+                        raise TransientComponentError(
+                            f"{self._label}.{method}: injected failure persisted "
+                            f"through {attempt} attempt(s)"
+                        )
+                    stats.component_retries += 1
+                    injector.note(rank, "component.retry")
+                    time.sleep(policy.component_backoff_s * 2 ** (attempt - 1))
             monitor = self._monitor()
             token = monitor.begin_invocation(self._label, method, params)
             try:
+                if action is not None and action.kind == COMPONENT_DELAY:
+                    time.sleep(action.delay_us / 1e6)
                 return getattr(self._target(), method)(*args, **kwargs)
             finally:
                 monitor.end_invocation(token)
@@ -97,6 +132,7 @@ def make_proxy_port(
     monitor_getter: Callable[[], MonitorPort],
     methods: list[str] | None = None,
     extractors: Mapping[str, Extractor] | None = None,
+    fault_getter: Callable[[], tuple | None] | None = None,
 ) -> Port:
     """Synthesize a proxy implementing ``port_type``.
 
@@ -105,6 +141,9 @@ def make_proxy_port(
     ``extractors`` override/augment the interface's ``perf_params`` mark-up.
     ``target_getter``/``monitor_getter`` defer port resolution until first
     call, since framework connections happen after component creation.
+    ``fault_getter``, when provided, returns ``(injector, policy, rank,
+    stats)`` for the running world (or None when no faults are attached);
+    monitored methods then consult the injector at the call boundary.
     """
     iface_methods = port_methods(port_type)
     if not iface_methods:
@@ -133,6 +172,7 @@ def make_proxy_port(
     # interface can be proxied many times with different wiring.
     proxy._target = target_getter
     proxy._monitor = monitor_getter
+    proxy._fault_ctx = fault_getter
     return proxy
 
 
@@ -165,6 +205,15 @@ class ProxyComponent(Component):
         self._services = services
         services.register_uses_port(self.port_name, self.port_type)
         services.register_uses_port(self.MONITOR_PORT, MonitorPort)
+
+        def fault_ctx() -> tuple | None:
+            comm = getattr(services.framework, "comm", None)
+            if comm is None or comm.world.injector is None:
+                return None
+            world = comm.world
+            return (world.injector, world.policy, comm.rank,
+                    world.resilience[comm.rank])
+
         proxy = make_proxy_port(
             self.port_type,
             self.label,
@@ -172,6 +221,7 @@ class ProxyComponent(Component):
             monitor_getter=lambda: services.get_port(self.MONITOR_PORT),
             methods=self.methods,
             extractors=self.extractors,
+            fault_getter=fault_ctx,
         )
         services.add_provides_port(proxy, self.port_name, self.port_type)
 

@@ -36,6 +36,26 @@ class InvocationRecord:
     def compute_us(self) -> float:
         return self.measurement.compute_us
 
+    def to_dict(self) -> dict[str, Any]:
+        """Checkpoint representation (exact float round-trip)."""
+        return {
+            "params": dict(self.params),
+            "wall_us": self.measurement.wall_us,
+            "mpi_us": self.measurement.mpi_us,
+            "counters": dict(self.measurement.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InvocationRecord":
+        return cls(
+            params=dict(data["params"]),
+            measurement=InvocationMeasurement(
+                wall_us=data["wall_us"],
+                mpi_us=data["mpi_us"],
+                counters=dict(data.get("counters", {})),
+            ),
+        )
+
 
 class MethodRecord:
     """All invocations of a single monitored routine."""
@@ -91,6 +111,21 @@ class MethodRecord:
     def total_wall_us(self) -> float:
         return float(self.wall_series().sum()) if self.invocations else 0.0
 
+    # -------------------------------------------------------- checkpoint
+    def to_dict(self) -> dict[str, Any]:
+        """Checkpoint representation of the whole record."""
+        return {
+            "label": self.label,
+            "method": self.method,
+            "invocations": [inv.to_dict() for inv in self.invocations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MethodRecord":
+        rec = cls(data["label"], data["method"])
+        rec.invocations = [InvocationRecord.from_dict(d) for d in data["invocations"]]
+        return rec
+
     # -------------------------------------------------------------- dump
     def to_text(self) -> str:
         """Render every stored invocation (the record's file output)."""
@@ -105,6 +140,11 @@ class MethodRecord:
         return "\n".join(lines) + "\n"
 
     def dump(self, path: str) -> None:
-        """Write all invocation data to ``path`` (record-destruction dump)."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_text())
+        """Write all invocation data to ``path`` (record-destruction dump).
+
+        Atomic (temp file + ``os.replace``): a crash mid-dump never leaves
+        a truncated record file behind.
+        """
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_text())

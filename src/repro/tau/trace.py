@@ -11,9 +11,11 @@ simple text format and mergeable across ranks for timeline analysis.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.util.atomicio import atomic_write_text
 from repro.util.timebase import now_us
 
 
@@ -84,11 +86,14 @@ class Tracer:
         return len(self._records)
 
     def dump(self, path: str) -> None:
-        """Write the trace as tab-separated text (t, rank, kind, name, value)."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write("# t_us\trank\tkind\tname\tvalue\n")
-            for rec in self._records:
-                fh.write(rec.format() + "\n")
+        """Write the trace as tab-separated text (t, rank, kind, name, value).
+
+        The write is atomic (temp file + ``os.replace``): a crash mid-dump
+        leaves any previous trace file intact.
+        """
+        lines = ["# t_us\trank\tkind\tname\tvalue"]
+        lines += [rec.format() for rec in self._records]
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def merge_traces(traces: Iterable[Tracer]) -> list[TraceRecord]:
@@ -98,6 +103,57 @@ def merge_traces(traces: Iterable[Tracer]) -> list[TraceRecord]:
         merged.extend(tr.records())
     merged.sort(key=lambda r: (r.t_us, r.rank))
     return merged
+
+
+def chrome_trace_events(records: Iterable[TraceRecord],
+                        process_name: str = "repro") -> list[dict]:
+    """Render trace records as Chrome Trace Event Format objects.
+
+    The produced JSON loads directly into ``chrome://tracing`` or Perfetto
+    (https://ui.perfetto.dev).  Mapping: ranks become threads (``tid``),
+    ENTER/EXIT become duration-begin/end phases (``"B"``/``"E"``) and EVENT
+    records — including injected faults, retries, recoveries and
+    checkpoints — become instant events (``"i"``) with their value in
+    ``args``.  Timestamps are microseconds, which is also Chrome's native
+    trace unit.
+    """
+    events: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    seen_ranks: set[int] = set()
+    for rec in records:
+        if rec.rank not in seen_ranks:
+            seen_ranks.add(rec.rank)
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rec.rank,
+                "args": {"name": f"rank {rec.rank}"},
+            })
+        base = {"name": rec.name, "pid": 0, "tid": rec.rank, "ts": rec.t_us}
+        if rec.kind is TraceKind.ENTER:
+            events.append({**base, "ph": "B"})
+        elif rec.kind is TraceKind.EXIT:
+            events.append({**base, "ph": "E"})
+        else:
+            events.append({**base, "ph": "i", "s": "t",
+                           "args": {"value": rec.value}})
+    return events
+
+
+def dump_chrome_trace(records: Iterable[TraceRecord], path: str,
+                      process_name: str = "repro") -> str:
+    """Atomically write records as a Chrome/Perfetto trace JSON file."""
+    payload = {
+        "traceEvents": chrome_trace_events(records, process_name=process_name),
+        "displayTimeUnit": "ms",
+    }
+    return atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def region_durations(records: Iterable[TraceRecord]) -> dict[tuple[int, str], list[float]]:

@@ -1,0 +1,57 @@
+"""Crash-safe file writes.
+
+Every persistent store in this package (model repository, Mastermind record
+dumps, checkpoints, traces) writes through these helpers: the payload goes
+to a temporary file in the destination directory, is flushed and fsynced,
+and is then moved into place with :func:`os.replace` — which is atomic on
+POSIX and Windows.  An injected fault (or a real crash) mid-dump can
+therefore never leave a truncated or corrupt file behind: readers see
+either the complete old content or the complete new content.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any
+
+
+def _atomic_write(path: str, data: bytes) -> str:
+    """Write ``data`` to ``path`` atomically; returns ``path``.
+
+    The temp file lives in the same directory as the destination so the
+    final :func:`os.replace` never crosses a filesystem boundary.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix="~")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Leave the destination untouched; remove the partial temp file.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_bytes(path: str, data: bytes) -> str:
+    """Atomically write raw bytes to ``path``."""
+    return _atomic_write(path, data)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Atomically write text to ``path``."""
+    return _atomic_write(path, text.encode(encoding))
+
+
+def atomic_pickle(path: str, obj: Any) -> str:
+    """Atomically pickle ``obj`` to ``path`` (highest protocol)."""
+    return _atomic_write(path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

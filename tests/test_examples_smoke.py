@@ -42,6 +42,17 @@ def test_performance_modeling_small():
     assert "paper's form" in out
 
 
+def test_fault_tolerance_small(tmp_path):
+    out = run_example("fault_tolerance.py", "--steps", "4",
+                      "--trace-out", str(tmp_path / "trace.json"))
+    assert "run completed: rank results [0, 0, 0]" in out
+    assert "'fault.drop': 3" in out
+    assert "'recovered': 3" in out
+    assert "run killed as planned" in out
+    assert "BITWISE IDENTICAL" in out
+    assert (tmp_path / "trace.json").exists()
+
+
 def test_heat_reuse_is_listed():
     # heat_reuse takes ~20-60 s; keep it out of the default suite but
     # verify the file exists and parses.

@@ -1,0 +1,234 @@
+"""MPI-layer fault injection and recovery (drops, duplicates, delays, stalls)."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (DELAY, DROP, DUPLICATE, FaultPlan, MessageFault,
+                               RankStall)
+from repro.faults.policy import CommFailure, ResiliencePolicy
+from repro.mpi.request import waitall, waitsome
+from repro.mpi.runner import ParallelRunner, RankFailure
+from repro.mpi.world import SimMPIError
+
+#: fast-retry policy so recovery tests run in milliseconds
+FAST = ResiliencePolicy(max_attempts=4, retry_timeout_s=0.02,
+                        backoff_factor=1.5, retransmit_cost_us=500.0)
+
+
+def run_with(plan: FaultPlan | None, fn, nranks: int = 2,
+             policy: ResiliencePolicy | None = FAST, timeout_s: float = 20.0):
+    injector = FaultInjector(plan, nranks) if plan is not None else None
+    runner = ParallelRunner(nranks, seed=0, timeout_s=timeout_s,
+                            injector=injector, policy=policy)
+    results = runner.run(fn)
+    return results, runner.last_world
+
+
+def drop_first_send_plan(recoverable: bool = True) -> FaultPlan:
+    return FaultPlan(messages=(
+        MessageFault(kind=DROP, source=0, index=0, count=1,
+                     recoverable=recoverable),))
+
+
+# ------------------------------------------------------------ drop+recover
+def test_dropped_message_is_recovered():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"x": 41}, 1, tag=5)
+            return None
+        return comm.recv(source=0, tag=5)
+
+    results, world = run_with(drop_first_send_plan(), fn)
+    assert results[1] == {"x": 41}
+    assert world.resilience[1].recovered == 1
+    assert world.resilience[1].retry_rounds >= 1
+    assert world.accounting[1].calls("MPI_Retransmit") == 1
+    counts = world.injector.total_counts()
+    assert counts["fault.drop"] == 1
+    assert counts["mpi.recovered"] == 1
+
+
+def test_recovery_through_nonblocking_waits():
+    def fn(comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(k, 1, tag=k) for k in range(3)]
+            waitall(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=k) for k in range(3)]
+        got = set()
+        while len(got) < 3:
+            got.update(waitsome(reqs))
+        return sorted(reqs[i].payload for i in range(3))
+
+    plan = FaultPlan(messages=(MessageFault(kind=DROP, source=0, index=1,
+                                            count=1),))
+    results, world = run_with(plan, fn)
+    assert results[1] == [0, 1, 2]
+    assert world.resilience[1].recovered == 1
+
+
+def test_unrecoverable_drop_raises_typed_failure():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("gone", 1, tag=9)
+            return None
+        return comm.recv(source=0, tag=9)
+
+    with pytest.raises(RankFailure, match="unrecoverably dropped"):
+        run_with(drop_first_send_plan(recoverable=False), fn)
+
+
+def test_unrecoverable_drop_in_wait_raises_typed_failure():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.isend("gone", 1, tag=3)
+            return None
+        req = comm.irecv(source=0, tag=3)
+        return waitall([req])
+
+    with pytest.raises(RankFailure, match="unrecoverably dropped"):
+        run_with(drop_first_send_plan(recoverable=False), fn)
+
+
+def test_drop_without_policy_deadlocks_with_plain_timeout():
+    """Non-resilient semantics are preserved: no retries, ordinary timeout."""
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("lost", 1)
+            return None
+        return comm.recv(source=0)
+
+    with pytest.raises(RankFailure) as exc:
+        run_with(drop_first_send_plan(), fn, policy=None, timeout_s=0.5)
+    assert "SimMPIError" in str(exc.value)
+    assert "CommFailure" not in str(exc.value)
+
+
+# --------------------------------------------------------------- duplicate
+def test_duplicate_is_deduplicated_under_policy():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("first", 1, tag=1)
+            comm.send("second", 1, tag=1)
+            return None
+        return [comm.recv(source=0, tag=1), comm.recv(source=0, tag=1)]
+
+    plan = FaultPlan(messages=(MessageFault(kind=DUPLICATE, source=0,
+                                            index=0, count=1),))
+    results, world = run_with(plan, fn)
+    assert results[1] == ["first", "second"]
+    assert world.resilience[1].deduplicated == 1
+    assert world.injector.total_counts()["fault.duplicate"] == 1
+
+
+def test_duplicate_without_policy_is_a_spurious_message():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("first", 1, tag=1)
+            comm.send("second", 1, tag=1)
+            return None
+        return [comm.recv(source=0, tag=1) for _ in range(3)]
+
+    plan = FaultPlan(messages=(MessageFault(kind=DUPLICATE, source=0,
+                                            index=0, count=1),))
+    results, _ = run_with(plan, fn, policy=None)
+    assert results[1] == ["first", "first", "second"]
+
+
+def test_probe_then_recv_does_not_misfire_dedup():
+    """Probing pops and re-delivers; the re-delivery must not be discarded."""
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("payload", 1, tag=2)
+            return None
+        comm.probe(source=0, tag=2)
+        assert comm.iprobe(source=0, tag=2)
+        return comm.recv(source=0, tag=2)
+
+    results, _ = run_with(FaultPlan(), fn)
+    assert results[1] == "payload"
+
+
+# ------------------------------------------------------------ delay+stall
+def test_delay_fault_inflates_modeled_cost():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(b"x" * 1000, 1, tag=0)
+            return None
+        comm.recv(source=0, tag=0)
+        return comm.accounting.routine_totals()["MPI_Recv"].total_us
+
+    plan = FaultPlan(messages=(MessageFault(kind=DELAY, source=0, index=0,
+                                            count=1, delay_factor=10.0,
+                                            delay_us=5000.0),))
+    faulty, _ = run_with(plan, fn)
+    clean, _ = run_with(None, fn, policy=None)
+    assert faulty[1] > clean[1] + 5000.0 - 1e-6
+
+
+def test_stall_charges_extra_modeled_time_to_one_rank():
+    def fn(comm):
+        comm.barrier()
+        return comm.accounting.total_us()
+
+    plan = FaultPlan(stalls=(RankStall(rank=1, extra_us=250_000.0,
+                                       index=0, count=1),))
+    results, world = run_with(plan, fn, nranks=3)
+    # Only the stalled rank carries the extra 250 ms of modeled time; the
+    # healthy ranks' barrier costs are jitter-sized (well under 10 ms).
+    assert results[1] >= 250_000.0
+    assert max(results[0], results[2]) < 10_000.0
+    assert world.injector.total_counts()["fault.stall"] == 1
+
+
+# ------------------------------------------------------------- collectives
+def test_collectives_complete_under_policy():
+    def fn(comm):
+        total = comm.allreduce(comm.rank)
+        gathered = comm.allgather(comm.rank * 10)
+        comm.barrier()
+        return (total, gathered)
+
+    results, world = run_with(FaultPlan(), fn, nranks=3)
+    assert results == [(3, [0, 10, 20])] * 3
+    assert all(s.failures == 0 for s in world.resilience)
+
+
+def test_collective_abandonment_raises_comm_failure():
+    """A rank that never joins a collective trips the bounded rounds."""
+    policy = ResiliencePolicy(max_attempts=2, retry_timeout_s=0.02,
+                              collective_timeout_s=0.05)
+
+    def fn(comm):
+        if comm.rank == 0:
+            return "defected"
+        return comm.allreduce(1)
+
+    with pytest.raises(RankFailure, match="CommFailure"):
+        run_with(FaultPlan(), fn, policy=policy, timeout_s=5.0)
+
+
+# ------------------------------------------------------------- determinism
+def test_injected_schedule_is_reproducible_across_runs():
+    plan = FaultPlan(seed=9, messages=(
+        MessageFault(kind=DROP, index=1, count=2),
+        MessageFault(kind=DELAY, probability=0.5, index=0, count=50,
+                     delay_us=10.0),
+    ))
+
+    def fn(comm):
+        peer = 1 - comm.rank
+        out = []
+        for k in range(8):
+            comm.send(k, peer, tag=k)
+        for k in range(8):
+            out.append(comm.recv(source=peer, tag=k))
+        return out
+
+    sigs = []
+    for _ in range(2):
+        results, world = run_with(plan, fn)
+        assert results[0] == results[1] == list(range(8))
+        sigs.append(world.injector.schedule_signature())
+    assert sigs[0] == sigs[1]
+    assert sum(len(s) for s in sigs[0]) > 0

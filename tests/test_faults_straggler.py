@@ -1,0 +1,169 @@
+"""Straggler detection and model-guided replacement on straggler evidence."""
+
+import time
+
+import pytest
+
+from repro.cca import Component, Framework, Port
+from repro.faults.straggler import StragglerDetector, mpi_totals_by_rank
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel
+from repro.perf import (Candidate, Expectation, Mastermind, OnlineMonitor,
+                        insert_proxy, perf_params)
+from repro.perf.records import InvocationRecord, MethodRecord
+from repro.tau.component import TauMeasurementComponent
+from repro.tau.query import InvocationMeasurement
+
+
+# ---------------------------------------------------------------- detector
+def test_detects_single_outlier():
+    report = StragglerDetector(factor=2.0, floor_us=10_000.0).detect(
+        [100_000.0, 500_000.0, 110_000.0])
+    assert report.detected
+    assert report.stragglers == (1,)
+    assert report.median_us == 110_000.0
+    assert "straggler" in str(report).lower()
+
+
+def test_healthy_ranks_are_quiet():
+    report = StragglerDetector().detect([100.0, 120.0, 95.0, 101.0])
+    assert not report.detected
+    assert report.stragglers == ()
+    assert "no stragglers" in str(report)
+
+
+def test_floor_suppresses_tiny_absolute_spread():
+    # 3x the median but only 20 us above it: noise, not a straggler.
+    report = StragglerDetector(factor=2.0, floor_us=10_000.0).detect(
+        [10.0, 30.0, 10.0])
+    assert not report.detected
+
+
+def test_detector_validation_and_edge_cases():
+    with pytest.raises(ValueError):
+        StragglerDetector(factor=0.0)
+    with pytest.raises(ValueError):
+        StragglerDetector(floor_us=-1.0)
+    assert not StragglerDetector().detect([]).detected
+
+
+# ------------------------------------------------------------- mpi totals
+def rec_with_mpi(mpi_us: float) -> MethodRecord:
+    rec = MethodRecord("amr_proxy", "ghost_update")
+    rec.add(InvocationRecord(
+        params={"level": 0},
+        measurement=InvocationMeasurement(wall_us=mpi_us + 10.0, mpi_us=mpi_us)))
+    return rec
+
+
+def test_mpi_totals_by_rank_accepts_list_and_dict():
+    per_rank = [{"a": rec_with_mpi(100.0), "b": rec_with_mpi(50.0)},
+                {"a": rec_with_mpi(7.0)}]
+    assert mpi_totals_by_rank(per_rank) == [150.0, 7.0]
+    as_dict = {1: {"a": rec_with_mpi(7.0)}, 0: {"a": rec_with_mpi(100.0)}}
+    assert mpi_totals_by_rank(as_dict) == [100.0, 7.0]
+
+
+# ------------------------------------------- model-guided component swap
+class CrunchPort(Port):
+    @perf_params(lambda args, kwargs: {"Q": int(args[0])})
+    def crunch(self, n: int) -> int:
+        raise NotImplementedError
+
+
+class SlowCrunch(Component, CrunchPort):
+    """Busy-waits ~n microseconds (the 'sub-optimal' implementation)."""
+
+    FUNCTIONALITY = "crunch"
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "crunch", CrunchPort)
+
+    def crunch(self, n: int) -> int:
+        t0 = time.perf_counter_ns()
+        while time.perf_counter_ns() - t0 < n * 1000:
+            pass
+        return n
+
+
+class FastCrunch(Component, CrunchPort):
+    FUNCTIONALITY = "crunch"
+
+    def set_services(self, sv):
+        sv.add_provides_port(self, "crunch", CrunchPort)
+
+    def crunch(self, n: int) -> int:
+        return n
+
+
+class Caller(Component):
+    def set_services(self, sv):
+        self.sv = sv
+        sv.register_uses_port("crunch", CrunchPort)
+
+    def run(self, n: int) -> int:
+        return self.sv.get_port("crunch").crunch(n)
+
+
+def linear_model(name, a, b):
+    return PerformanceModel(name, fit_linear([0.0, 1.0], [a, a + b]))
+
+
+@pytest.fixture
+def crunch_app():
+    fw = Framework()
+    fw.create("crunch", SlowCrunch)
+    caller = fw.create("caller", Caller)
+    fw.create("tau", TauMeasurementComponent)
+    mm = fw.create("mastermind", Mastermind)
+    fw.connect("caller", "crunch", "crunch", "crunch")
+    fw.connect("mastermind", "measurement", "tau", "measurement")
+    insert_proxy(fw, "caller", "crunch", "mastermind", label="c_proxy")
+    for _ in range(6):
+        caller.run(500)
+    monitor = OnlineMonitor(mm, window=10, drift_threshold=0.5)
+    # Accurate model + wide floor: per-invocation statistics look healthy.
+    exp = Expectation("c_proxy", "crunch", linear_model("slow", 100.0, 1.0),
+                      floor_us=2_000.0)
+    assert not monitor.check(exp).drifting
+    return fw, caller, monitor, exp
+
+
+def test_straggler_signal_forces_swap(crunch_app):
+    fw, caller, monitor, exp = crunch_app
+    # The cross-rank MPI ledgers show a straggler, which forces the
+    # model-guided decision and swaps in the cheaper implementation.
+    totals = [100_000.0, 900_000.0, 110_000.0]
+    fast = Candidate(FastCrunch, linear_model("fast", 1.0, 0.0))
+    report = monitor.reoptimize_on_stragglers(totals, exp, fw, "crunch", [fast])
+    assert report.drifting
+    assert report.replaced_with == "FastCrunch"
+    assert isinstance(fw.component("crunch"), FastCrunch)
+    assert caller.run(77) == 77  # wiring survived the swap
+
+
+def test_straggler_signal_without_better_candidate_keeps_component(crunch_app):
+    fw, caller, monitor, exp = crunch_app
+    worse = Candidate(SlowCrunch, linear_model("worse", 0.0, 10.0))
+    report = monitor.reoptimize_on_stragglers(
+        [100_000.0, 900_000.0, 110_000.0], exp, fw, "crunch", [worse])
+    assert report.drifting  # the straggler evidence is reported...
+    assert report.replaced_with is None  # ...but no blind swap happens
+    assert isinstance(fw.component("crunch"), SlowCrunch)
+
+
+def test_quiet_totals_do_not_force_anything(crunch_app):
+    fw, caller, monitor, exp = crunch_app
+    fast = Candidate(FastCrunch, linear_model("fast", 1.0, 0.0))
+    report = monitor.reoptimize_on_stragglers(
+        [100.0, 110.0, 105.0], exp, fw, "crunch", [fast])
+    assert not report.drifting
+    assert report.replaced_with is None
+    assert isinstance(fw.component("crunch"), SlowCrunch)
+
+
+def test_check_stragglers_passthrough():
+    mm = Mastermind()
+    monitor = OnlineMonitor(mm)
+    report = monitor.check_stragglers([100.0, 900_000.0, 120.0])
+    assert report.detected and report.stragglers == (1,)
