@@ -96,11 +96,15 @@ class Framework:
         comm: "SimComm | None" = None,
         profiler: Profiler | None = None,
         repository: ComponentRepository | None = None,
+        obs=None,
     ) -> None:
         self.rank = int(rank)
         self.comm = comm
         self.repository = repository or default_repository
         self.profiler = profiler or Profiler(rank=self.rank)
+        #: this rank's RankObs (span tracer + metrics), or None when off.
+        #: Components reach it via ``services.framework.obs``.
+        self.obs = obs if obs is not None else (comm.obs if comm is not None else None)
         if comm is not None:
             # MPI routine charges flow into the profiler's MPI group so the
             # TAU component sees them (Figure 3's MPI_* rows).

@@ -61,6 +61,7 @@ def run_scmd(
     extract: Callable[[Framework], Any] | None = None,
     fault_plan=None,
     resilience=None,
+    observe=None,
 ) -> ScmdResult:
     """Run a component application on ``nranks`` simulated processors.
 
@@ -86,6 +87,14 @@ def run_scmd(
         A :class:`~repro.faults.policy.ResiliencePolicy` enabling bounded
         retry/recovery in the MPI layer and the proxies; None keeps the
         non-resilient semantics.
+    observe:
+        An :class:`~repro.obs.runtime.ObsConfig` turning on span tracing
+        and metrics: each rank gets a span tracer (every TAU timer
+        bracketing — including the Mastermind's proxied invocations — and
+        every MPI operation becomes a span, with matched sends/recvs and
+        collectives linked as causal cross-rank edges) plus a metrics
+        registry.  Collect results from ``ScmdResult.world.obs`` via
+        :func:`repro.obs.collect`.  None (default) traces nothing.
     """
     injector = None
     if fault_plan is not None:
@@ -93,12 +102,14 @@ def run_scmd(
         injector = FaultInjector(fault_plan, nranks)
     runner = ParallelRunner(nranks, network=network, seed=seed,
                             timeout_s=timeout_s, injector=injector,
-                            policy=resilience)
+                            policy=resilience, obs_config=observe)
 
     def rank_main(comm) -> tuple[Any, dict, dict, dict, Any]:
-        profiler = Profiler(rank=comm.rank, cache=cache)
+        obs = comm.obs
+        profiler = Profiler(rank=comm.rank, cache=cache,
+                            span_tracer=obs.tracer if obs is not None else None)
         fw = Framework(rank=comm.rank, comm=comm, profiler=profiler,
-                       repository=repository)
+                       repository=repository, obs=obs)
         with profiler.timer(MAIN_TIMER):
             composed = compose(fw)
             if go_instance is not None:

@@ -78,16 +78,29 @@ class ShockDriver(Component, GoPort):
         else:
             mesh.initialize(shock_interface_ic(p, self.gamma))
             self.start_step = 0
+        obs = getattr(self._services.framework, "obs", None)
         for step in range(self.start_step, p.steps):
-            for hook in self.pre_step_hooks:
-                hook(step)
-            if step > 0 and p.regrid_every > 0 and step % p.regrid_every == 0:
-                mesh.regrid()
-            dt = integrator.compute_dt(p.cfl)
-            if not np.isfinite(dt) or dt <= 0:
-                raise FloatingPointError(f"unstable time step {dt} at step {step}")
-            self.dt_history.append(dt)
-            integrator.advance(0, dt)
-            for hook in self.post_step_hooks:
-                hook(step)
+            with self._step_span(obs, step):
+                for hook in self.pre_step_hooks:
+                    hook(step)
+                if step > 0 and p.regrid_every > 0 and step % p.regrid_every == 0:
+                    mesh.regrid()
+                dt = integrator.compute_dt(p.cfl)
+                if not np.isfinite(dt) or dt <= 0:
+                    raise FloatingPointError(f"unstable time step {dt} at step {step}")
+                self.dt_history.append(dt)
+                integrator.advance(0, dt)
+                for hook in self.post_step_hooks:
+                    hook(step)
         return 0
+
+    @staticmethod
+    def _step_span(obs, step: int):
+        """A per-step span (the critical-path analyzer's step boundaries)."""
+        if obs is None:
+            from contextlib import nullcontext
+
+            return nullcontext(None)
+        from repro.obs.span import CAT_STEP
+
+        return obs.tracer.span("timestep", CAT_STEP, step=step)

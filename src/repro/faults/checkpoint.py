@@ -179,24 +179,50 @@ class Checkpointer:
         """Checkpoint after ``step`` completes?"""
         return self.config.enabled and (step + 1) % self.config.every == 0
 
+    def _obs(self):
+        """This rank's observability state, when the world carries one."""
+        return self.comm.obs if self.comm is not None else None
+
     def save(self, step: int, state: dict[str, Any]) -> str:
         """Write this rank's payload for ``step`` and commit the manifest.
 
         Collective when a communicator is present: all ranks must call it
         for the same step (they do — the driver's step loop is SCMD).
         """
-        path = _rank_path(self.config.directory, step, self.rank)
-        blob = pickle.dumps({"format": FORMAT, "step": step, "rank": self.rank,
-                             "nranks": self.nranks, "state": state},
-                            protocol=pickle.HIGHEST_PROTOCOL)
-        atomic_write_bytes(path, blob)
-        self.bytes_written += len(blob)
-        if self.comm is not None:
-            # The manifest may only list the step once every rank's file is
-            # durable; the barrier provides exactly that ordering.
-            self.comm.barrier()
-        if self.rank == 0:
-            self._commit(step)
+        obs = self._obs()
+        from contextlib import nullcontext
+
+        if obs is not None:
+            from repro.obs.span import CAT_CHECKPOINT
+            from repro.util.timebase import now_us
+
+            cm = obs.tracer.span("checkpoint.save", CAT_CHECKPOINT, step=step)
+            t0 = now_us()
+        else:
+            cm = nullcontext(None)
+            t0 = 0.0
+        with cm:
+            path = _rank_path(self.config.directory, step, self.rank)
+            blob = pickle.dumps({"format": FORMAT, "step": step, "rank": self.rank,
+                                 "nranks": self.nranks, "state": state},
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_bytes(path, blob)
+            self.bytes_written += len(blob)
+            if obs is not None:
+                from repro.util.timebase import now_us
+
+                m = obs.metrics
+                m.counter("checkpoint_saves_total", "checkpoints written").inc()
+                m.counter("checkpoint_bytes_total",
+                          "checkpoint bytes written").inc(len(blob))
+                m.histogram("checkpoint_write_us",
+                            "per-checkpoint local write time").observe(now_us() - t0)
+            if self.comm is not None:
+                # The manifest may only list the step once every rank's file is
+                # durable; the barrier provides exactly that ordering.
+                self.comm.barrier()
+            if self.rank == 0:
+                self._commit(step)
         self.saved_steps.append(step)
         if self.injector is not None:
             self.injector.note(self.rank, "checkpoint.save", float(step))

@@ -73,6 +73,8 @@ class CaseStudyConfig:
     resume: bool = False
     #: wall-clock deadlock timeout handed to the simulated world
     timeout_s: float = 300.0
+    #: span tracing + metrics (see repro.obs); None traces nothing
+    observe: Any = None
 
 
 @dataclass
@@ -236,4 +238,5 @@ def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
         timeout_s=config.timeout_s,
         fault_plan=config.fault_plan,
         resilience=config.resilience,
+        observe=config.observe,
     )

@@ -12,7 +12,8 @@ Figure 3 profile and the ghost-cell timings of Figure 9.
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Sequence
+from contextlib import nullcontext
+from typing import Any, Callable, ContextManager, Sequence
 
 import numpy as np
 
@@ -23,6 +24,8 @@ from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope, Status
 from repro.mpi.network import payload_nbytes
 from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.world import WORLD_CONTEXT, SimMPIError, SimWorld
+from repro.obs.span import CAT_MPI, CAT_MPI_WAIT, Span
+from repro.util.timebase import now_us
 
 # Reduction operators accepted by reduce/allreduce/scan, by name.
 _OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -59,6 +62,15 @@ class SimComm:
         self.context = context
         self._coll_seq = 0
         self._dup_count = 0
+        self._obs = world.obs[self.rank] if world.obs is not None else None
+        # Registry lookups hash the label dict; at thousands of MPI ops per
+        # step that shows up, so the hot path resolves each routine's
+        # instruments once and reuses the references.
+        self._mpi_metrics: dict[str, tuple] = {}
+        self._bytes_counter = (
+            self._obs.metrics.counter(
+                "mpi_bytes_sent_total", "payload bytes posted for send")
+            if self._obs is not None else None)
 
     # ------------------------------------------------------------ basics
     @property
@@ -81,6 +93,22 @@ class SimComm:
         """This rank's jitter RNG stream."""
         return self.world.rngs[self.rank]
 
+    @property
+    def obs(self):
+        """This rank's observability state (None when tracing is off)."""
+        return self._obs
+
+    def _span_ctx(self, name: str, category: str,
+                  **attrs: Any) -> ContextManager[Span | None]:
+        """Span around one MPI op, or a no-op when tracing is off.
+
+        MPI spans are never sampled out: a missing send span would orphan
+        the cross-rank edge to its receive.
+        """
+        if self._obs is None:
+            return nullcontext(None)
+        return self._obs.tracer.span(name, category, **attrs)
+
     def charge(self, routine: str, cost_us: float) -> None:
         """Record modeled time for ``routine`` on this rank.
 
@@ -92,9 +120,22 @@ class SimComm:
         if injector is not None:
             cost_us += injector.on_mpi_op(self.rank, routine)
         self.accounting.record(routine, cost_us)
+        if self._obs is not None:
+            inst = self._mpi_metrics.get(routine)
+            if inst is None:
+                m = self._obs.metrics
+                inst = self._mpi_metrics[routine] = (
+                    m.counter("mpi_calls_total", "MPI calls by routine",
+                              routine=routine),
+                    m.histogram("mpi_cost_us", "modeled MPI cost by routine",
+                                routine=routine),
+                )
+            inst[0].inc()
+            inst[1].observe(cost_us)
 
     # ---------------------------------------------------- point-to-point
-    def _post_send(self, obj: Any, dest: int, tag: int) -> int:
+    def _post_send(self, obj: Any, dest: int, tag: int,
+                   span: Span | None = None) -> int:
         net = self.world.network
         nbytes = payload_nbytes(obj)
         env = Envelope(
@@ -105,6 +146,15 @@ class SimComm:
             nbytes=nbytes,
             cost_us=net.p2p_cost(nbytes, self.rng),
         )
+        if self._obs is not None:
+            # Stamp the sender's span context into the envelope and mark
+            # the send span as the source of causal edge ``env.seq`` —
+            # the matched receive becomes its sink on another rank.
+            tracer = self._obs.tracer
+            ctx_span = span if span is not None else tracer.current()
+            env.trace_ctx = (self.rank, ctx_span.span_id) if ctx_span else None
+            tracer.flow_out(env.seq, span)
+            self._bytes_counter.inc(nbytes)
         injector = self.world.injector
         if injector is not None:
             action = injector.on_send(self.rank, dest, tag)
@@ -122,7 +172,7 @@ class SimComm:
                 self.world.deliver(self.context, Envelope(
                     source=env.source, dest=env.dest, tag=env.tag,
                     payload=_copy_payload(env.payload), nbytes=env.nbytes,
-                    cost_us=env.cost_us, seq=env.seq,
+                    cost_us=env.cost_us, seq=env.seq, trace_ctx=env.trace_ctx,
                 ))
                 return nbytes
             if action.kind is not None:  # delay
@@ -130,7 +180,18 @@ class SimComm:
         self.world.deliver(self.context, env)
         return nbytes
 
-    def _match_resilient(self, source: int, tag: int) -> Envelope:
+    def _mark_retry(self, span: Span | None, t_retry_us: float | None) -> None:
+        """Accumulate bounded-retry wall time on the enclosing span.
+
+        The critical-path analyzer splits ``retry_us`` out of an mpi_wait
+        span into the retry bucket of its attribution.
+        """
+        if span is not None and t_retry_us is not None:
+            span.attrs["retry_us"] = (
+                span.attrs.get("retry_us", 0.0) + (now_us() - t_retry_us))
+
+    def _match_resilient(self, source: int, tag: int,
+                         span: Span | None = None) -> Envelope:
         """Blocking match with bounded retry + recovery when a resilience
         policy is attached (plain deadlock-bounded match otherwise).
 
@@ -146,20 +207,33 @@ class SimComm:
         if policy is None or world.injector is None:
             return world.match(self.context, self.rank, source, tag)
         stats = world.resilience[self.rank]
+        metrics = self._obs.metrics if self._obs is not None else None
+        t_retry: float | None = None
         for attempt in range(policy.max_attempts):
             env = world.match_timeout(self.context, self.rank, source, tag,
                                       policy.attempt_timeout_s(attempt))
             if env is not None:
+                self._mark_retry(span, t_retry)
                 return env
             stats.retry_rounds += 1
+            if t_retry is None:
+                t_retry = now_us()
+            if metrics is not None:
+                metrics.counter("mpi_retry_rounds_total",
+                                "bounded receive retry rounds").inc()
             recovered = world.recover_dropped(self.context, self.rank, source, tag)
             if recovered:
                 self.charge("MPI_Retransmit", recovered * policy.retransmit_cost_us)
                 env = world.try_match(self.context, self.rank, source, tag)
                 if env is not None:
+                    self._mark_retry(span, t_retry)
                     return env
+        self._mark_retry(span, t_retry)
         if world.lost_forever(self.context, self.rank, source, tag):
             stats.failures += 1
+            if metrics is not None:
+                metrics.counter("mpi_comm_failures_total",
+                                "typed communication failures raised").inc()
             raise CommFailure(
                 f"rank {self.rank}: no message (source={source}, tag={tag}, "
                 f"context={self.context!r}) after {policy.max_attempts} retry "
@@ -169,28 +243,34 @@ class SimComm:
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send: copy, deliver, charge injection cost."""
-        self._post_send(obj, dest, tag)
-        self.charge("MPI_Send", self.world.network.min_cost_us)
+        with self._span_ctx("MPI_Send", CAT_MPI, dest=dest, tag=tag) as sp:
+            self._post_send(obj, dest, tag, span=sp)
+            self.charge("MPI_Send", self.world.network.min_cost_us)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; complete immediately (payload copied)."""
-        self._post_send(obj, dest, tag)
-        self.charge("MPI_Isend", self.world.network.min_cost_us)
+        with self._span_ctx("MPI_Isend", CAT_MPI, dest=dest, tag=tag) as sp:
+            self._post_send(obj, dest, tag, span=sp)
+            self.charge("MPI_Isend", self.world.network.min_cost_us)
         return SendRequest(self)
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Status | None = None
     ) -> Any:
         """Blocking receive; charged the message's modeled transfer cost."""
-        env = self._match_resilient(source, tag)
-        self.charge("MPI_Recv", env.cost_us)
-        if status is not None:
-            status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
-        return env.payload
+        with self._span_ctx("MPI_Recv", CAT_MPI_WAIT, source=source, tag=tag) as sp:
+            env = self._match_resilient(source, tag, span=sp)
+            if self._obs is not None:
+                self._obs.tracer.flow_in(env.seq, sp)
+            self.charge("MPI_Recv", env.cost_us)
+            if status is not None:
+                status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
+            return env.payload
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         """Post a nonblocking receive (cost charged at completion)."""
-        self.charge("MPI_Irecv", self.world.network.min_cost_us)
+        with self._span_ctx("MPI_Irecv", CAT_MPI, source=source, tag=tag):
+            self.charge("MPI_Irecv", self.world.network.min_cost_us)
         return RecvRequest(self, source, tag)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
@@ -207,9 +287,10 @@ class SimComm:
         # because try_match popped the earliest match).  The pop marked the
         # seq consumed for dedup purposes; undo that or the re-delivered
         # envelope would be discarded as a duplicate.
-        self.world.deliver(self.context, env)
-        self.world.unmark_consumed(self.context, self.rank, env.seq)
-        self.charge("MPI_Iprobe", self.world.network.min_cost_us)
+        with self._span_ctx("MPI_Iprobe", CAT_MPI, source=source, tag=tag):
+            self.world.deliver(self.context, env)
+            self.world.unmark_consumed(self.context, self.rank, env.seq)
+            self.charge("MPI_Iprobe", self.world.network.min_cost_us)
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
         return True
@@ -217,29 +298,44 @@ class SimComm:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
               status: Status | None = None) -> None:
         """Blocking probe: wait until a matching message is available."""
-        env = self._match_resilient(source, tag)
-        self.world.deliver(self.context, env)
-        self.world.unmark_consumed(self.context, self.rank, env.seq)
-        self.charge("MPI_Probe", self.world.network.min_cost_us)
+        with self._span_ctx("MPI_Probe", CAT_MPI_WAIT, source=source, tag=tag) as sp:
+            env = self._match_resilient(source, tag, span=sp)
+            # No flow_in here: the probe does not consume the message, the
+            # eventual receive anchors the causal edge.
+            self.world.deliver(self.context, env)
+            self.world.unmark_consumed(self.context, self.rank, env.seq)
+            self.charge("MPI_Probe", self.world.network.min_cost_us)
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
 
     def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
                  source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
         """Combined send+receive (deadlock-free under the buffered model)."""
-        self._post_send(obj, dest, sendtag)
-        env = self._match_resilient(source, recvtag)
-        self.charge("MPI_Sendrecv", env.cost_us + self.world.network.min_cost_us)
-        return env.payload
+        with self._span_ctx("MPI_Sendrecv", CAT_MPI_WAIT, dest=dest) as sp:
+            self._post_send(obj, dest, sendtag, span=sp)
+            env = self._match_resilient(source, recvtag, span=sp)
+            if self._obs is not None:
+                self._obs.tracer.flow_in(env.seq, sp)
+            self.charge("MPI_Sendrecv", env.cost_us + self.world.network.min_cost_us)
+            return env.payload
 
     # ------------------------------------------------------- collectives
-    def _exchange(self, value: Any) -> list[Any]:
+    def _exchange(self, value: Any, routine: str | None = None) -> list[Any]:
         seq = self._coll_seq
         self._coll_seq += 1
-        if self.world.policy is not None:
-            return self.world.exchange_resilient(
-                self.context, seq, self.rank, value, self.world.policy)
-        return self.world.exchange(self.context, seq, self.rank, value)
+        with self._span_ctx(routine or "MPI_Exchange", CAT_MPI_WAIT,
+                            coll_seq=seq) as sp:
+            if self.world.policy is not None:
+                vals = self.world.exchange_resilient(
+                    self.context, seq, self.rank, value, self.world.policy)
+            else:
+                vals = self.world.exchange(self.context, seq, self.rank, value)
+            if self._obs is not None:
+                # All participants share one flow id; the analyzer draws
+                # edges from the last arriver (who unblocked the slot) to
+                # every other rank.
+                self._obs.tracer.flow_collective(f"c:{self.context}:{seq}", sp)
+        return vals
 
     def _charge_collective(self, routine: str, nbytes: int) -> None:
         cost = self.world.network.collective_cost(nbytes, self.size, self.rng)
@@ -247,13 +343,14 @@ class SimComm:
 
     def barrier(self) -> None:
         """Synchronize all ranks (charged a log2(P) latency tree)."""
-        self._exchange(None)
+        self._exchange(None, "MPI_Barrier")
         self._charge_collective("MPI_Barrier", 0)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
         self._check_root(root)
-        vals = self._exchange(_copy_payload(obj) if self.rank == root else None)
+        vals = self._exchange(_copy_payload(obj) if self.rank == root else None,
+                              "MPI_Bcast")
         result = vals[root]
         self._charge_collective("MPI_Bcast", payload_nbytes(result))
         return _copy_payload(result) if self.rank != root else obj
@@ -261,13 +358,13 @@ class SimComm:
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank at ``root`` (None elsewhere)."""
         self._check_root(root)
-        vals = self._exchange(_copy_payload(obj))
+        vals = self._exchange(_copy_payload(obj), "MPI_Gather")
         self._charge_collective("MPI_Gather", payload_nbytes(obj))
         return vals if self.rank == root else None
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one value per rank, everywhere."""
-        vals = self._exchange(_copy_payload(obj))
+        vals = self._exchange(_copy_payload(obj), "MPI_Allgather")
         self._charge_collective("MPI_Allgather", payload_nbytes(obj))
         return vals
 
@@ -277,9 +374,9 @@ class SimComm:
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError(f"scatter at root needs a length-{self.size} sequence")
-            vals = self._exchange([_copy_payload(o) for o in objs])
+            vals = self._exchange([_copy_payload(o) for o in objs], "MPI_Scatter")
         else:
-            vals = self._exchange(None)
+            vals = self._exchange(None, "MPI_Scatter")
         items = vals[root]
         self._charge_collective("MPI_Scatter", payload_nbytes(items[self.rank]))
         return items[self.rank]
@@ -288,7 +385,7 @@ class SimComm:
         """Each rank sends item j to rank j; returns the column addressed to it."""
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs a length-{self.size} sequence")
-        vals = self._exchange([_copy_payload(o) for o in objs])
+        vals = self._exchange([_copy_payload(o) for o in objs], "MPI_Alltoall")
         self._charge_collective("MPI_Alltoall", sum(payload_nbytes(o) for o in objs))
         return [vals[src][self.rank] for src in range(self.size)]
 
@@ -303,19 +400,19 @@ class SimComm:
                root: int = 0) -> Any | None:
         """Reduce to ``root`` (None elsewhere)."""
         self._check_root(root)
-        vals = self._exchange(_copy_payload(obj))
+        vals = self._exchange(_copy_payload(obj), "MPI_Reduce")
         self._charge_collective("MPI_Reduce", payload_nbytes(obj))
         return self._reduce_values(vals, op) if self.rank == root else None
 
     def allreduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
         """Reduce across all ranks; every rank returns the result."""
-        vals = self._exchange(_copy_payload(obj))
+        vals = self._exchange(_copy_payload(obj), "MPI_Allreduce")
         self._charge_collective("MPI_Allreduce", payload_nbytes(obj))
         return self._reduce_values(vals, op)
 
     def scan(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
         """Inclusive prefix reduction over ranks 0..self.rank."""
-        vals = self._exchange(_copy_payload(obj))
+        vals = self._exchange(_copy_payload(obj), "MPI_Scan")
         self._charge_collective("MPI_Scan", payload_nbytes(obj))
         return self._reduce_values(vals[: self.rank + 1], op)
 
@@ -329,7 +426,7 @@ class SimComm:
         child_context = f"{self.context}/dup{self._dup_count}"
         # Synchronize so no rank races ahead and sends into a context the
         # peer hasn't created; also verifies all ranks derived the same name.
-        names = self._exchange(child_context)
+        names = self._exchange(child_context, "MPI_Comm_dup")
         if any(n != child_context for n in names):
             raise SimMPIError(f"inconsistent dup order across ranks: {names}")
         self._charge_collective("MPI_Comm_dup", 0)

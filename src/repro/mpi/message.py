@@ -20,6 +20,12 @@ class Envelope:
     the receiver charges it when the message is matched (a blocking receive
     pays for the transfer, as in a real rendezvous).  ``seq`` preserves
     per-(source, tag) FIFO matching order, the MPI non-overtaking rule.
+
+    ``trace_ctx`` carries the sender's span context ``(rank, span_id)``
+    when tracing is on: it is what turns a matched send/recv pair into a
+    causal cross-rank edge in the merged span DAG (the flow id is the
+    globally unique ``seq``, shared by retransmissions and injected
+    duplicates of the same logical message).
     """
 
     source: int
@@ -29,6 +35,7 @@ class Envelope:
     nbytes: int
     cost_us: float
     seq: int = field(default_factory=lambda: next(_seqno))
+    trace_ctx: tuple[int, int] | None = None
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope match a receive posted for (source, tag)?"""

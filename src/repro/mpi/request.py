@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.faults.policy import CommFailure
 from repro.mpi.message import ANY_SOURCE, ANY_TAG, Status
 from repro.mpi.world import SimMPIError
+from repro.obs.span import CAT_MPI_WAIT
+from repro.util.timebase import now_us
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import SimComm
@@ -86,6 +88,11 @@ class RecvRequest(Request):
         self._payload = env.payload
         self._cost_us = env.cost_us
         self._complete = True
+        obs = self._comm.obs
+        if obs is not None:
+            # Sink of the causal edge: bind to the enclosing wait span, or
+            # to an instant marker when completed by a bare test().
+            obs.tracer.flow_in(env.seq, obs.tracer.current())
         if status is not None:
             status.source, status.tag, status.nbytes = env.source, env.tag, env.nbytes
 
@@ -100,9 +107,11 @@ class RecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> Any:
         if not self._complete:
-            env = self._comm._match_resilient(self.source, self.tag)
-            self._absorb(env, status)
-            self._comm.charge("MPI_Wait", self._cost_us)
+            with self._comm._span_ctx("MPI_Wait", CAT_MPI_WAIT,
+                                      source=self.source, tag=self.tag) as sp:
+                env = self._comm._match_resilient(self.source, self.tag, span=sp)
+                self._absorb(env, status)
+                self._comm.charge("MPI_Wait", self._cost_us)
         return self._payload
 
 
@@ -137,6 +146,9 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
     attempt = 0
     next_retry = (time.monotonic() + policy.attempt_timeout_s(0)) if resilient else None
     completed: list[int] = []
+    obs = comm.obs
+    wait_span = obs.tracer.current() if obs is not None else None
+    t_retry = None
     with cond:
         while True:
             if world.aborted:
@@ -150,6 +162,7 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
             pending = still
             done = (not pending) if want_all else bool(completed)
             if done:
+                comm._mark_retry(wait_span, t_retry)
                 return completed
             now = time.monotonic()
             remaining = deadline - now
@@ -160,6 +173,11 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
                 )
             if resilient and now >= next_retry:
                 world.resilience[comm.rank].retry_rounds += 1
+                if t_retry is None:
+                    t_retry = now_us()
+                if obs is not None:
+                    obs.metrics.counter("mpi_retry_rounds_total",
+                                        "bounded receive retry rounds").inc()
                 recovered = 0
                 receives = [requests[i] for i in pending
                             if isinstance(requests[i], RecvRequest)]
@@ -175,6 +193,11 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
                         r._comm.context, comm.rank, r.source, r.tag)]
                     if lost:
                         world.resilience[comm.rank].failures += 1
+                        comm._mark_retry(wait_span, t_retry)
+                        if obs is not None:
+                            obs.metrics.counter(
+                                "mpi_comm_failures_total",
+                                "typed communication failures raised").inc()
                         r = lost[0]
                         raise CommFailure(
                             f"rank {comm.rank}: receive (source={r.source}, "
@@ -199,18 +222,22 @@ def waitsome(requests: Sequence[Request]) -> list[int]:
     concurrent arrivals overlap).  Returns ``[]`` if every request was
     already complete (MPI's ``MPI_UNDEFINED`` case).
     """
-    done = _poll_until_some(requests, want_all=False)
-    if done:
-        comm = requests[0]._comm
+    if not any(not r.complete for r in requests):
+        return _poll_until_some(requests, want_all=False)
+    comm = requests[0]._comm
+    with comm._span_ctx("MPI_Waitsome", CAT_MPI_WAIT, n=len(requests)):
+        done = _poll_until_some(requests, want_all=False)
         comm.charge("MPI_Waitsome", max(requests[i].cost_us for i in done))
     return done
 
 
 def waitall(requests: Sequence[Request]) -> None:
     """Complete all requests; charged to ``MPI_Waitall``."""
-    done = _poll_until_some(requests, want_all=True)
-    if requests:
-        comm = requests[0]._comm
+    if not requests:
+        return
+    comm = requests[0]._comm
+    with comm._span_ctx("MPI_Waitall", CAT_MPI_WAIT, n=len(requests)):
+        done = _poll_until_some(requests, want_all=True)
         cost = max((requests[i].cost_us for i in done), default=0.0)
         comm.charge("MPI_Waitall", cost)
 
@@ -221,8 +248,9 @@ def waitany(requests: Sequence[Request]) -> int:
         raise ValueError("waitany on empty request list")
     if all(r.complete for r in requests):
         raise SimMPIError("waitany: all requests already complete")
-    done = _poll_until_some(requests, want_all=False)
     comm = requests[0]._comm
-    idx = done[0]
-    comm.charge("MPI_Waitany", requests[idx].cost_us)
+    with comm._span_ctx("MPI_Waitany", CAT_MPI_WAIT, n=len(requests)):
+        done = _poll_until_some(requests, want_all=False)
+        idx = done[0]
+        comm.charge("MPI_Waitany", requests[idx].cost_us)
     return idx

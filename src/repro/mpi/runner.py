@@ -52,6 +52,7 @@ class ParallelRunner:
         timeout_s: float = 120.0,
         injector=None,
         policy=None,
+        obs_config=None,
     ) -> None:
         check_positive("nranks", nranks)
         self.nranks = int(nranks)
@@ -61,6 +62,8 @@ class ParallelRunner:
         #: optional FaultInjector / ResiliencePolicy attached to each world
         self.injector = injector
         self.policy = policy
+        #: optional ObsConfig enabling per-rank span tracing + metrics
+        self.obs_config = obs_config
         #: the world of the most recent ``run`` (exposes per-rank accounting)
         self.last_world: SimWorld | None = None
 
@@ -72,7 +75,7 @@ class ParallelRunner:
         """
         world = SimWorld(self.nranks, network=self.network, seed=self.seed,
                          timeout_s=self.timeout_s, injector=self.injector,
-                         policy=self.policy)
+                         policy=self.policy, obs_config=self.obs_config)
         self.last_world = world
         results: list[Any] = [None] * self.nranks
         failures: dict[int, str] = {}

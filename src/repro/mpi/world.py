@@ -28,6 +28,7 @@ from repro.faults.policy import CommFailure, ResiliencePolicy, ResilienceStats
 from repro.mpi.accounting import MPIAccounting
 from repro.mpi.message import Envelope
 from repro.mpi.network import NetworkModel
+from repro.obs.runtime import ObsConfig, build_obs
 from repro.util.rng import spawn_rngs
 from repro.util.validation import check_positive
 
@@ -61,6 +62,7 @@ class SimWorld:
         timeout_s: float = 120.0,
         injector=None,
         policy: ResiliencePolicy | None = None,
+        obs_config: ObsConfig | None = None,
     ) -> None:
         check_positive("nranks", nranks)
         check_positive("timeout_s", timeout_s)
@@ -69,6 +71,9 @@ class SimWorld:
         self.timeout_s = float(timeout_s)
         self.rngs = spawn_rngs(seed, self.nranks)
         self.accounting = [MPIAccounting() for _ in range(self.nranks)]
+        # Per-rank observability state (span tracer + metrics registry),
+        # or None when tracing is off.
+        self.obs = build_obs(self.nranks, obs_config)
 
         # Fault injection and recovery (both optional and independent: an
         # injector without a policy reproduces failures un-handled; a
@@ -174,6 +179,10 @@ class SimWorld:
                     # discard and keep looking.
                     self.resilience[rank].deduplicated += 1
                     self.injector.note(rank, "mpi.deduplicated")
+                    if self.obs is not None:
+                        self.obs[rank].metrics.counter(
+                            "mpi_deduplicated_total",
+                            "injected duplicates discarded by receivers").inc()
                     continue
                 consumed.add(env.seq)
             return env
@@ -227,6 +236,10 @@ class SimWorld:
             if self.injector is not None:
                 for _ in matched:
                     self.injector.note(rank, "mpi.recovered")
+            if self.obs is not None:
+                self.obs[rank].metrics.counter(
+                    "mpi_recovered_total",
+                    "dropped envelopes recovered by retransmission").inc(len(matched))
             cond.notify_all()
             return len(matched)
 

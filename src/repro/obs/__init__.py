@@ -1,0 +1,82 @@
+"""Observability: span tracing, metrics and critical-path analysis.
+
+The measurement story of the paper (TAU profiling + Mastermind records)
+answers "how long did each component take, per rank".  This package
+answers the follow-up questions a distributed run raises: *which* chain
+of compute and messages actually bounded the run (critical path), *what
+happened between ranks* (causally-linked spans rendered as Perfetto flow
+arrows) and *how is the system behaving* in aggregate (typed metrics
+with cross-rank merge and Prometheus/JSON exposition).
+"""
+
+from repro.obs.critical_path import (
+    CriticalPathReport,
+    PathSegment,
+    critical_path,
+    crosscheck_ledger,
+    crosscheck_records,
+    flow_edges,
+    per_step_critical_paths,
+)
+from repro.obs.export import (
+    ObsDump,
+    collect,
+    validate_chrome_payload,
+    validate_trace_file,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    merge_registries,
+)
+from repro.obs.runtime import ObsConfig, RankObs, build_obs
+from repro.obs.span import (
+    CAT_CHECKPOINT,
+    CAT_COMPUTE,
+    CAT_MPI,
+    CAT_MPI_WAIT,
+    CAT_RETRY,
+    CAT_STEP,
+    FlowPoint,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "CAT_CHECKPOINT",
+    "CAT_COMPUTE",
+    "CAT_MPI",
+    "CAT_MPI_WAIT",
+    "CAT_RETRY",
+    "CAT_STEP",
+    "Counter",
+    "CriticalPathReport",
+    "FlowPoint",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObsDump",
+    "PathSegment",
+    "RankObs",
+    "Span",
+    "SpanTracer",
+    "build_obs",
+    "collect",
+    "critical_path",
+    "crosscheck_ledger",
+    "crosscheck_records",
+    "flow_edges",
+    "log_buckets",
+    "merge_registries",
+    "per_step_critical_paths",
+    "validate_chrome_payload",
+    "validate_trace_file",
+    "write_metrics",
+    "write_trace",
+]

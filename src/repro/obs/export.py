@@ -1,0 +1,181 @@
+"""Collecting, validating and writing observability output.
+
+:func:`collect` pulls every rank's spans/flows/metrics out of a finished
+run (a :class:`~repro.cca.scmd.ScmdResult`'s world, or a bare list of
+:class:`~repro.obs.runtime.RankObs`) into one :class:`ObsDump`;
+:func:`write_trace` / :func:`write_metrics` produce the CI artifacts
+(Perfetto JSON, metrics JSON + Prometheus text); and
+:func:`validate_chrome_payload` is the schema gate CI fails on — it
+round-trips the JSON and checks the invariants a viewer relies on
+(monotone timestamps, balanced B/E per track, resolvable flow ids).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.metrics import MetricsRegistry, merge_registries
+from repro.obs.runtime import RankObs
+from repro.obs.span import FlowPoint, Span
+from repro.tau.trace import dump_chrome_trace_spans
+from repro.util.atomicio import atomic_write_text
+
+
+@dataclass
+class ObsDump:
+    """Everything the per-rank tracers and registries accumulated."""
+
+    spans: list[Span] = field(default_factory=list)
+    flows: list[FlowPoint] = field(default_factory=list)
+    dropped_by_rank: dict[int, int] = field(default_factory=dict)
+    sampled_out_by_rank: dict[int, int] = field(default_factory=dict)
+    overhead_by_rank: dict[int, dict[str, float]] = field(default_factory=dict)
+    registries: list[MetricsRegistry] = field(default_factory=list)
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped_by_rank.values())
+
+    def merged_metrics(self) -> MetricsRegistry:
+        return merge_registries(self.registries)
+
+
+def _rank_obs_of(source: Any) -> Sequence[RankObs]:
+    """Accept a ScmdResult, a SimWorld or a plain RankObs sequence."""
+    world = getattr(source, "world", source)
+    obs = getattr(world, "obs", world)
+    if obs is None:
+        raise ValueError(
+            "run has no observability state; pass observe=ObsConfig() when "
+            "launching it")
+    return obs
+
+
+def collect(source: Any) -> ObsDump:
+    """Merge all ranks' observability state, time-ordering the spans."""
+    dump = ObsDump()
+    for ro in _rank_obs_of(source):
+        tracer = ro.tracer
+        dump.spans.extend(tracer.spans())
+        dump.flows.extend(tracer.flows())
+        if tracer.dropped_count:
+            dump.dropped_by_rank[ro.rank] = tracer.dropped_count
+        if tracer.sampled_out:
+            dump.sampled_out_by_rank[ro.rank] = tracer.sampled_out
+        dump.overhead_by_rank[ro.rank] = tracer.overhead_report()
+        dump.registries.append(ro.metrics)
+    dump.spans.sort(key=lambda s: (s.t_start_us, s.rank, s.span_id))
+    return dump
+
+
+# ------------------------------------------------------------------ writers
+def write_trace(source: Any, path: str, process_name: str = "repro") -> ObsDump:
+    """Write the merged Perfetto trace; returns the dump it came from."""
+    dump = source if isinstance(source, ObsDump) else collect(source)
+    dump_chrome_trace_spans(
+        dump.spans, dump.flows, path, process_name=process_name,
+        dropped_counts=dump.dropped_by_rank,
+        sampled_out=dump.sampled_out_by_rank)
+    return dump
+
+
+def write_metrics(source: Any, json_path: str | None = None,
+                  prometheus_path: str | None = None) -> MetricsRegistry:
+    """Write the cross-rank merged metrics snapshot(s); returns the merge."""
+    dump = source if isinstance(source, ObsDump) else collect(source)
+    merged = dump.merged_metrics()
+    # The tracers' own accounting rides along as metrics so a snapshot is
+    # self-describing about truncation and tracing cost.
+    for rank, rep in sorted(dump.overhead_by_rank.items()):
+        merged.counter("tracer_spans_total",
+                       "spans recorded by the tracer").inc(rep["spans"])
+        merged.counter("tracer_dropped_total",
+                       "spans dropped by the bounded buffer").inc(rep["dropped"])
+        merged.counter("tracer_sampled_out_total",
+                       "spans skipped by 1-in-N sampling").inc(rep["sampled_out"])
+        merged.counter("tracer_self_overhead_us_total",
+                       "tracer-measured cost of tracing itself").inc(
+                           rep["self_overhead_us"])
+    if json_path is not None:
+        atomic_write_text(json_path, merged.to_json())
+    if prometheus_path is not None:
+        atomic_write_text(prometheus_path, merged.to_prometheus())
+    return merged
+
+
+# --------------------------------------------------------------- validation
+def validate_chrome_payload(payload: Any) -> list[str]:
+    """Invariant check for an exported trace; returns human-readable problems.
+
+    Checks: top-level shape, globally monotone timestamps, balanced
+    B/E per (pid, tid) track, and that every flow id has exactly one
+    ``s`` and one ``f`` endpoint, each landing inside a slice on its
+    track.  An empty list means the trace is well-formed.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload is not a dict with a 'traceEvents' key"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    last_ts: float | None = None
+    stacks: dict[tuple[int, int], list[str]] = {}
+    slices: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    open_at: dict[tuple[int, int], list[float]] = {}
+    flow_points: dict[str, dict[str, tuple[int, int, float]]] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i}: timestamp {ts} < previous {last_ts}")
+        last_ts = float(ts)
+        track = (ev.get("pid", 0), ev.get("tid", 0))
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev.get("name", ""))
+            open_at.setdefault(track, []).append(ts)
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                problems.append(f"event {i}: E with empty stack on track {track}")
+            else:
+                stack.pop()
+                start = open_at[track].pop()
+                slices.setdefault(track, []).append((start, ts))
+        elif ph in ("s", "f"):
+            fid = str(ev.get("id"))
+            pts = flow_points.setdefault(fid, {})
+            if ph in pts:
+                problems.append(f"flow {fid}: duplicate {ph!r} endpoint")
+            pts[ph] = (*track, ts)
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(f"track {track}: {len(stack)} unclosed B event(s): {stack[:3]}")
+    for fid, pts in flow_points.items():
+        for endpoint in ("s", "f"):
+            if endpoint not in pts:
+                problems.append(f"flow {fid}: missing {endpoint!r} endpoint")
+                continue
+            pid, tid, ts = pts[endpoint]
+            track_slices = slices.get((pid, tid), [])
+            if not any(lo <= ts <= hi for lo, hi in track_slices):
+                problems.append(
+                    f"flow {fid}: {endpoint!r} endpoint at ts={ts} is outside "
+                    f"every slice on track {(pid, tid)}")
+    return problems
+
+
+def validate_trace_file(path: str) -> list[str]:
+    """Round-trip a trace file through ``json.loads`` and validate it."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file {path!r}: {exc}"]
+    return validate_chrome_payload(payload)

@@ -1,0 +1,54 @@
+"""Per-rank observability state and its configuration.
+
+One :class:`RankObs` (a span tracer + a metrics registry) is attached to
+each rank of a :class:`~repro.mpi.world.SimWorld` when an
+:class:`ObsConfig` is passed to the runner; the MPI layer, the TAU
+profiler, the proxies/Mastermind, the fault paths and the checkpoint
+writer all find it there and record into it.  ``None`` everywhere means
+observability is off and every hook is a cheap attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanTracer
+
+
+@dataclass
+class ObsConfig:
+    """Knobs for the observability layer.
+
+    ``sample_every=N`` traces 1-in-N proxied component invocations (MPI
+    spans are always traced — a sampled-out send would orphan its
+    receive edge); metrics are always on, they are constant-memory.
+    """
+
+    sample_every: int = 1
+    max_spans: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {self.sample_every}")
+        if self.max_spans < 2:
+            raise ValueError(f"max_spans must be >= 2, got {self.max_spans}")
+
+
+class RankObs:
+    """One rank's observability state (used only from that rank's thread)."""
+
+    __slots__ = ("rank", "tracer", "metrics")
+
+    def __init__(self, rank: int, config: ObsConfig) -> None:
+        self.rank = int(rank)
+        self.tracer = SpanTracer(rank=rank, max_spans=config.max_spans,
+                                 sample_every=config.sample_every)
+        self.metrics = MetricsRegistry(rank=rank)
+
+
+def build_obs(nranks: int, config: ObsConfig | None) -> list[RankObs] | None:
+    """Per-rank observability states, or None when tracing is off."""
+    if config is None:
+        return None
+    return [RankObs(r, config) for r in range(nranks)]

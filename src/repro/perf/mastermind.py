@@ -109,6 +109,13 @@ class Mastermind(Component, MonitorPort):
         self.callpath.pop(act.timer_name)
         measurement = act.before.delta(after)
         self._records[act.key].add(InvocationRecord(params=act.params, measurement=measurement))
+        obs = self._services.framework.obs if self._services is not None else None
+        if obs is not None:
+            m = obs.metrics
+            m.counter("invocations_total", "proxied invocations recorded",
+                      routine=act.timer_name).inc()
+            m.histogram("invocation_wall_us", "per-invocation wall time",
+                        routine=act.timer_name).observe(measurement.wall_us)
 
     # ----------------------------------------------------------- queries
     def record(self, label: str, method: str) -> MethodRecord:

@@ -105,6 +105,12 @@ def _make_forwarder(
                         )
                     stats.component_retries += 1
                     injector.note(rank, "component.retry")
+                    obs = self._obs() if self._obs is not None else None
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "component_retries_total",
+                            "transient component failures retried",
+                            label=self._label).inc()
                     time.sleep(policy.component_backoff_s * 2 ** (attempt - 1))
             monitor = self._monitor()
             token = monitor.begin_invocation(self._label, method, params)
@@ -133,6 +139,7 @@ def make_proxy_port(
     methods: list[str] | None = None,
     extractors: Mapping[str, Extractor] | None = None,
     fault_getter: Callable[[], tuple | None] | None = None,
+    obs_getter: Callable[[], Any] | None = None,
 ) -> Port:
     """Synthesize a proxy implementing ``port_type``.
 
@@ -144,6 +151,8 @@ def make_proxy_port(
     ``fault_getter``, when provided, returns ``(injector, policy, rank,
     stats)`` for the running world (or None when no faults are attached);
     monitored methods then consult the injector at the call boundary.
+    ``obs_getter`` returns the rank's observability state (or None) so
+    retry metrics land in the metrics registry.
     """
     iface_methods = port_methods(port_type)
     if not iface_methods:
@@ -173,6 +182,7 @@ def make_proxy_port(
     proxy._target = target_getter
     proxy._monitor = monitor_getter
     proxy._fault_ctx = fault_getter
+    proxy._obs = obs_getter
     return proxy
 
 
@@ -222,6 +232,7 @@ class ProxyComponent(Component):
             methods=self.methods,
             extractors=self.extractors,
             fault_getter=fault_ctx,
+            obs_getter=lambda: getattr(services.framework, "obs", None),
         )
         services.add_provides_port(proxy, self.port_name, self.port_type)
 

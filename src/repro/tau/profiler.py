@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Iterator
 
+from repro.obs.span import CAT_COMPUTE
 from repro.tau.events import EventRegistry
 from repro.tau.hardware import CacheModel, HardwareCounters
 from repro.tau.timer import TimerStats, _Frame
@@ -43,6 +44,7 @@ class Profiler:
         cache: CacheModel | None = None,
         clock: Callable[[], float] = now_us,
         tracer: Tracer | None = None,
+        span_tracer=None,
     ) -> None:
         self.rank = int(rank)
         self._clock = clock
@@ -52,6 +54,11 @@ class Profiler:
         self.events = EventRegistry()
         self.counters = HardwareCounters(cache)
         self.tracer = tracer
+        #: optional repro.obs.span.SpanTracer: every start/stop bracketing
+        #: also opens/closes a compute-category span (subject to the
+        #: tracer's 1-in-N sampling), so proxied component invocations are
+        #: traced for free via the Mastermind's existing timer path.
+        self.span_tracer = span_tracer
 
     # ------------------------------------------------------------ timers
     def _get_timer(self, name: str, group: str) -> TimerStats:
@@ -82,8 +89,12 @@ class Profiler:
             return
         if self.tracer is not None:
             self.tracer.enter(name)
+        span = None
+        if self.span_tracer is not None:
+            span = self.span_tracer.start(name, CAT_COMPUTE, sampled=True)
         reentrant = any(f.name == name for f in self._stack)
-        self._stack.append(_Frame(name=name, start_us=self._clock(), reentrant=reentrant))
+        self._stack.append(_Frame(name=name, start_us=self._clock(),
+                                  reentrant=reentrant, span=span))
 
     def stop(self, name: str) -> float:
         """Stop the named timer (must be the innermost started one).
@@ -103,6 +114,8 @@ class Profiler:
         self._stack.pop()
         if self.tracer is not None:
             self.tracer.exit(name)
+        if self.span_tracer is not None:
+            self.span_tracer.end(frame.span)
         elapsed = self._clock() - frame.start_us
         assert timer is not None  # created at start()
         timer.calls += 1
@@ -144,9 +157,16 @@ class Profiler:
         if self._stack:
             self._stack[-1].child_us += duration_us
             # Extend enclosing start times backwards so the enclosing
-            # inclusive time covers the charged duration.
+            # inclusive time covers the charged duration.  Mirror the
+            # modeled time onto the frames' spans as ``virtual_us`` —
+            # span timestamps stay real wall clock (cross-rank ordering
+            # depends on it); the attribute makes the modeled MPI cost
+            # visible per region in the exported trace.
             for f in self._stack:
                 f.start_us -= duration_us
+                if f.span is not None:
+                    f.span.attrs["virtual_us"] = (
+                        f.span.attrs.get("virtual_us", 0.0) + duration_us)
 
     # ----------------------------------------------------------- queries
     def running(self) -> list[str]:

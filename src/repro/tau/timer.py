@@ -48,3 +48,6 @@ class _Frame:
     start_us: float
     child_us: float = 0.0
     reentrant: bool = False
+    #: the observability span opened for this frame (None when tracing is
+    #: off or the span was sampled out)
+    span: object | None = None

@@ -53,6 +53,19 @@ def test_fault_tolerance_small(tmp_path):
     assert (tmp_path / "trace.json").exists()
 
 
+def test_observability_small(tmp_path):
+    out = run_example(
+        "observability.py", "--steps", "2", "--nx", "32", "--nranks", "3",
+        "--trace-out", str(tmp_path / "trace.json"),
+        "--metrics-out", str(tmp_path / "metrics"))
+    assert "Critical path" in out
+    assert "cross-rank hop" in out
+    assert "0 mismatches" in out
+    assert "valid; load in ui.perfetto.dev" in out
+    assert (tmp_path / "trace.json").exists()
+    assert (tmp_path / "metrics.prom").exists()
+
+
 def test_heat_reuse_is_listed():
     # heat_reuse takes ~20-60 s; keep it out of the default suite but
     # verify the file exists and parses.
