@@ -66,6 +66,7 @@ class Transfer:
         """Write a received block into the destination patch."""
         for k, f in enumerate(fields):
             self.dst_patch.view(f, self.dst_region)[...] = data[k]
+        self.dst_patch.mark_written()
 
 
 def plan_same_level_exchange(patches: Sequence[Patch]) -> list[Transfer]:
@@ -124,7 +125,9 @@ def execute_transfers(
         return 0.0
 
     before_us = comm.accounting.total_us()
-    recvs: list[tuple[RecvRequest, Transfer]] = []
+    san = comm.world.sanitizer
+    guard = san.ghost_guard(rank) if san is not None else None
+    recvs: list[tuple[RecvRequest, Transfer, int]] = []
     for idx, t in enumerate(transfers):
         tag = tag_base + idx
         src_o, dst_o = t.src_patch.owner, t.dst_patch.owner
@@ -132,15 +135,24 @@ def execute_transfers(
             t.insert(t.extract(fields), fields)
         elif src_o == rank:
             comm.isend(t.extract(fields), dest=dst_o, tag=tag)
+            if guard is not None:
+                guard.watch_send(t.src_patch, t.src_region, fields, tag)
         elif dst_o == rank:
-            recvs.append((comm.irecv(source=src_o, tag=tag), t))
-    pending = [r for r, _t in recvs]
-    by_req = {id(r): t for r, t in recvs}
+            recvs.append((comm.irecv(source=src_o, tag=tag), t, tag))
+            if guard is not None:
+                guard.watch_recv(t.dst_patch, t.dst_region, fields, tag)
+    pending = [r for r, _t, _tag in recvs]
+    by_req = {id(r): (t, tag) for r, t, tag in recvs}
     while any(not r.complete for r in pending):
         done = waitsome(pending)
         for i in done:
             req = pending[i]
-            by_req[id(req)].insert(req.payload, fields)
+            t, tag = by_req[id(req)]
+            if guard is not None:
+                guard.check_recv(tag)
+            t.insert(req.payload, fields)
+    if guard is not None:
+        guard.check_sends()
     return comm.accounting.total_us() - before_us
 
 

@@ -29,7 +29,7 @@ from repro.amr.clustering import cluster_flags
 from repro.amr.decomposition import (DecompositionStats, assign_knapsack,
                                      assign_round_robin)
 from repro.amr.flagging import buffer_flags, flag_gradient
-from repro.amr.ghost import GhostExchanger, Transfer, plan_same_level_exchange
+from repro.amr.ghost import GhostExchanger, Transfer
 from repro.amr.interpolation import prolong, restrict
 from repro.amr.patch import Patch
 from repro.mpi.comm import SimComm
@@ -209,19 +209,24 @@ class GridHierarchy:
                 p.data(f)[...] = arr
 
     # ------------------------------------------------------ ghost update
-    def _interlevel_ghost_plan(self, level: int) -> list[Transfer]:
+    def _interlevel_ghost_phases(self, level: int) -> list[list[Transfer]]:
         """Coarse->fine prolongation transfers covering fine ghost strips.
 
         Cascades from level 0 upward so finer sources overwrite coarser
         ones; level 0 covers the domain, so no strip is left unfilled.
+        Returns one transfer list per source level: each must be drained
+        as its own exchange, because a nonblocking drain completes inserts
+        in arrival order and would otherwise let a coarse prolongation
+        land *on top of* finer data (a write-after-write race the ghost
+        sanitizer flags).
         """
-        plan: list[Transfer] = []
+        phases: list[list[Transfer]] = []
         lbox = self.level_box(level)
-        for fp in self.levels[level]:
-            strips = ghost_strips(fp.box, self.nghost, lbox)
-            for src_level in range(level):
-                power = self.r ** (level - src_level)
-                for strip in strips:
+        for src_level in range(level):
+            power = self.r ** (level - src_level)
+            plan: list[Transfer] = []
+            for fp in self.levels[level]:
+                for strip in ghost_strips(fp.box, self.nghost, lbox):
                     cov = strip.coarsen(power)
                     for cp in self.levels[src_level]:
                         ov_c = cov.intersection(cp.box)
@@ -239,7 +244,8 @@ class GridHierarchy:
                             dst_region=dst,
                             transform=(lambda b, p=power, c=crop: prolong(b, p)[c]),
                         ))
-        return plan
+            phases.append(plan)
+        return phases
 
     def _fill_physical_bc(self, level: int) -> None:
         """Zero-gradient extrapolation into ghosts outside the domain."""
@@ -267,7 +273,8 @@ class GridHierarchy:
         """
         comm_us = 0.0
         if level > 0:
-            comm_us += self.exchanger.run(self._interlevel_ghost_plan(level), self.fields)
+            for phase in self._interlevel_ghost_phases(level):
+                comm_us += self.exchanger.run(phase, self.fields)
         comm_us += self.exchanger.update_level(self.levels[level], self.fields)
         self._fill_physical_bc(level)
         return comm_us
@@ -407,11 +414,15 @@ class GridHierarchy:
             self.decomposition_stats.append(stats)
             self._allocate_local(new_fine)
 
-            # Seed from coarser levels (cascade, coarsest first).
-            plan: list[Transfer] = []
-            for fp in new_fine:
-                for src_level in range(lev + 1):
-                    power = self.r ** (lev + 1 - src_level)
+            # Seed from coarser levels (cascade, coarsest first).  Each
+            # source level is its own exchange: destination regions across
+            # levels overlap on purpose (finer overwrites coarser), and a
+            # concurrent drain inserts in arrival order, so batching the
+            # cascade into one plan would be a write-after-write race.
+            for src_level in range(lev + 1):
+                power = self.r ** (lev + 1 - src_level)
+                plan: list[Transfer] = []
+                for fp in new_fine:
                     cov = fp.box.coarsen(power)
                     for cp in self.levels[src_level]:
                         ov_c = cov.intersection(cp.box)
@@ -427,7 +438,10 @@ class GridHierarchy:
                             dst_region=dst,
                             transform=(lambda b, p=power, c=crop: prolong(b, p)[c]),
                         ))
-            # Then preserve old fine data where it existed.
+                comm_us += self.exchanger.run(plan, self.fields)
+            # Then preserve old fine data where it existed — again as a
+            # separate exchange so it lands after every cascade write.
+            plan = []
             for fp in new_fine:
                 for op in old_fine:
                     ov = fp.box.intersection(op.box)

@@ -29,6 +29,9 @@ class Patch:
     nghost: int = 2
     fields: dict[str, np.ndarray] = field(default_factory=dict)
     uid: int = field(default_factory=lambda: next(_patch_ids))
+    #: write-generation stamp; the ghost-race sanitizer compares it across
+    #: a nonblocking exchange to localize which writer dirtied a region
+    version: int = 0
 
     def __post_init__(self) -> None:
         check_non_negative("level", self.level)
@@ -82,6 +85,10 @@ class Patch:
         si, sj = region.slices(self.ghost_box)
         return self.data(name)[si, sj]
 
+    def mark_written(self) -> None:
+        """Bump the write-generation stamp (call after mutating field data)."""
+        self.version += 1
+
     # ------------------------------------------------------------- misc
     def field_names(self) -> list[str]:
         return sorted(self.fields)
@@ -95,6 +102,7 @@ class Patch:
             nghost=self.nghost,
             fields={k: v.copy() for k, v in self.fields.items()},
             uid=self.uid,
+            version=self.version,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,31 @@
+"""Correctness tooling: static domain linter + runtime MPI sanitizers.
+
+Two halves (DESIGN.md section 10):
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — an AST linter
+  for the repo's measurement invariants (rules RA001–RA006), runnable as
+  ``python -m repro.analysis src/``; suppress individual lines with
+  ``# ra: noqa[RAxxx]``.
+* :mod:`repro.analysis.sanitize` — MUST-style runtime checkers (collective
+  ordering, p2p leak/type hygiene, wait-for-graph deadlock detection,
+  ghost-region race detection) enabled with ``sanitize=SanitizerConfig()``
+  on :class:`~repro.mpi.runner.ParallelRunner`,
+  :func:`~repro.cca.scmd.run_scmd` and
+  :class:`~repro.harness.casestudy.CaseStudyConfig`.
+"""
+
+from repro.analysis.lint import Finding, iter_python_files, lint_file, lint_paths
+from repro.analysis.report import human_report, json_report
+from repro.analysis.rules import RULES
+from repro.analysis.sanitize import (CollectiveMismatchError, DeadlockError,
+                                     GhostGuard, GhostRaceError, LeakError,
+                                     Sanitizer, SanitizerConfig,
+                                     SanitizerError, SanitizerFinding)
+
+__all__ = [
+    "Finding", "iter_python_files", "lint_file", "lint_paths",
+    "human_report", "json_report", "RULES",
+    "Sanitizer", "SanitizerConfig", "SanitizerError", "SanitizerFinding",
+    "DeadlockError", "CollectiveMismatchError", "GhostRaceError",
+    "LeakError", "GhostGuard",
+]

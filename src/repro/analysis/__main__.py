@@ -1,0 +1,46 @@
+"""CLI entry point: ``python -m repro.analysis [paths...] [--format=...]``.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise (2 on
+usage errors), so the command drops straight into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.report import human_report, json_report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Domain-aware linter for the repro codebase "
+                    "(rules RA001-RA006; suppress with '# ra: noqa[RAxxx]').")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--format", choices=("human", "json"), default="human",
+                        help="report format (default: human)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all, e.g. --rules RA002,RA004)")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    rules = ([c.strip().upper() for c in args.rules.split(",") if c.strip()]
+             if args.rules else None)
+    try:
+        findings = lint_paths(paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+    report = json_report(findings) if args.format == "json" else human_report(findings)
+    print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

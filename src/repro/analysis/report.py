@@ -1,0 +1,34 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.lint import Finding
+
+
+def human_report(findings: Sequence[Finding]) -> str:
+    """``path:line:col: CODE message`` lines plus a per-rule tally."""
+    if not findings:
+        return "repro.analysis: no findings"
+    lines = [f.format() for f in findings]
+    tally = Counter(f.rule for f in findings)
+    summary = ", ".join(f"{code}={n}" for code, n in sorted(tally.items()))
+    lines.append(f"repro.analysis: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def json_report(findings: Sequence[Finding]) -> str:
+    """JSON document: ``{"findings": [...], "counts": {...}}``."""
+    payload = {
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in findings
+        ],
+        "counts": dict(sorted(Counter(f.rule for f in findings).items())),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,445 @@
+"""Runtime MPI/determinism sanitizers for the simulated MPI layer.
+
+MUST-style dynamic correctness checking (PAPERS.md: Vetter & de Supinski)
+adapted to the thread-backed simulator.  A :class:`Sanitizer` attaches to a
+:class:`~repro.mpi.world.SimWorld` when ``sanitize=SanitizerConfig()`` is
+passed to the runner / ``run_scmd`` / ``CaseStudyConfig`` and performs four
+families of checks:
+
+* **collective ordering** — every collective piggybacks a token (routine
+  name, per-rank op index, rolling op-sequence hash) through the exchange
+  slot; ranks compare all P tokens after the rendezvous and report the
+  first divergent operation instead of silently combining a ``bcast`` with
+  a ``reduce``;
+* **point-to-point hygiene** — payload type stability per (context, source,
+  dest, tag) channel (warning), plus finalize-time detection of leaked
+  :class:`~repro.mpi.request.RecvRequest` objects and unconsumed
+  :class:`~repro.mpi.message.Envelope` s;
+* **deadlock detection** — blocked ranks register a wait-for edge set
+  (specific source, ANY_SOURCE fan-in, or the missing ranks of a
+  collective); a fixpoint over the wait-for graph finds groups whose every
+  member waits only on other stuck members and raises
+  :class:`DeadlockError` naming the cycle of ranks and pending ops instead
+  of hanging until the world timeout;
+* **ghost-region races** — :class:`GhostGuard` version-stamps and
+  checksums patch regions with outstanding nonblocking sends/recvs and
+  flags any write that lands mid-exchange.
+
+Findings are recorded (:attr:`Sanitizer.findings`), emitted through the
+per-rank :class:`~repro.obs.metrics.MetricsRegistry` when observability is
+on (``sanitizer_findings_total{kind=...}``), and — with ``strict=True``,
+the default — raised as typed :class:`SanitizerError` subclasses at the
+point of detection.  Deadlocks always raise: the alternative is the hang
+they exist to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.amr.patch import Patch
+    from repro.mpi.message import Envelope
+    from repro.mpi.request import RecvRequest
+
+
+class SanitizerError(RuntimeError):
+    """Base class for sanitizer-detected correctness violations."""
+
+
+class DeadlockError(SanitizerError):
+    """A cycle of ranks each blocked waiting on another member."""
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Ranks issued different collective operations at the same slot."""
+
+
+class GhostRaceError(SanitizerError):
+    """A buffer with an outstanding nonblocking transfer was written."""
+
+
+class LeakError(SanitizerError):
+    """Requests never completed / envelopes never received at finalize."""
+
+
+#: finding kinds that never raise, regardless of ``strict``
+WARNING_KINDS = frozenset({"p2p-type-instability"})
+
+
+@dataclass
+class SanitizerConfig:
+    """Which sanitizer families run, and how violations are surfaced.
+
+    ``strict=True`` raises a typed :class:`SanitizerError` at the point of
+    detection (deadlocks always raise); ``strict=False`` only records
+    findings, for survey runs over known-dirty workloads.
+    """
+
+    collective_order: bool = True
+    p2p: bool = True
+    deadlock: bool = True
+    ghost_race: bool = True
+    strict: bool = True
+    #: how often blocked ranks re-check the wait-for graph (seconds)
+    deadlock_poll_s: float = 0.05
+    #: per-rank collective history depth kept for divergence diagnostics
+    history: int = 64
+
+    def __post_init__(self) -> None:
+        if self.deadlock_poll_s <= 0:
+            raise ValueError(
+                f"deadlock_poll_s must be positive, got {self.deadlock_poll_s}")
+        if self.history < 2:
+            raise ValueError(f"history must be >= 2, got {self.history}")
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One recorded violation."""
+
+    kind: str
+    rank: int
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.kind}] rank {self.rank}: {self.message}"
+
+
+@dataclass(frozen=True)
+class _CollToken:
+    """Per-rank metadata piggybacked through one collective exchange."""
+
+    rank: int
+    routine: str
+    index: int
+    seq_hash: int
+
+
+@dataclass
+class _WaitState:
+    """One blocked rank's registered wait-for edge set."""
+
+    op: str
+    detail: str
+    waits_on: frozenset[int]
+    gen: int
+
+
+def type_signature(obj: Any) -> str:
+    """Compact payload type descriptor used for channel-stability checks."""
+    tname = type(obj).__name__
+    shape = getattr(obj, "shape", None)
+    dtype = getattr(obj, "dtype", None)
+    if shape is not None and dtype is not None:
+        return f"{tname}[{dtype},{len(shape)}d]"
+    return tname
+
+
+class Sanitizer:
+    """All shared sanitizer state for one simulated job."""
+
+    def __init__(self, nranks: int, config: SanitizerConfig | None = None,
+                 obs=None) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = int(nranks)
+        self.config = config or SanitizerConfig()
+        self._obs = obs
+        self.findings: list[SanitizerFinding] = []
+        self._flock = threading.Lock()
+
+        # Collective ordering: per-(rank, context) op counter + rolling
+        # hash, plus a bounded per-rank history for divergence reports.
+        self._coll_count: dict[tuple[int, str], int] = {}
+        self._coll_hash: dict[tuple[int, str], int] = {}
+        self._coll_hist: list[deque[tuple[str, int, str]]] = [
+            deque(maxlen=self.config.history) for _ in range(self.nranks)]
+
+        # P2P: channel payload-type stability + per-rank posted receives.
+        self._chan_types: dict[tuple[str, int, int, int], str] = {}
+        self._requests: list[list["RecvRequest"]] = [[] for _ in range(self.nranks)]
+
+        # Deadlock: registered wait states + per-rank progress generations.
+        self._dlock = threading.Lock()
+        self._wait: list[_WaitState | None] = [None] * self.nranks
+        self._gen: list[int] = [0] * self.nranks
+
+    # ---------------------------------------------------------- findings
+    def record(self, kind: str, rank: int, message: str,
+               exc: type[SanitizerError] | None = None) -> None:
+        """Record a finding; raise it when strict (warnings never raise)."""
+        with self._flock:
+            self.findings.append(SanitizerFinding(kind=kind, rank=rank,
+                                                  message=message))
+        if self._obs is not None:
+            self._obs[rank].metrics.counter(
+                "sanitizer_findings_total", "sanitizer findings by kind",
+                kind=kind).inc()
+        if kind in WARNING_KINDS:
+            return
+        always = exc is DeadlockError  # never trade a report for a hang
+        if (self.config.strict or always) and exc is not None:
+            raise exc(message)
+
+    def findings_by_kind(self) -> dict[str, int]:
+        with self._flock:
+            out: dict[str, int] = {}
+            for f in self.findings:
+                out[f.kind] = out.get(f.kind, 0) + 1
+            return out
+
+    # ------------------------------------------------ collective ordering
+    def collective_token(self, rank: int, context: str, seq: int,
+                         routine: str) -> _CollToken:
+        """Advance this rank's op sequence; returns the exchange token."""
+        key = (rank, context)
+        index = self._coll_count.get(key, 0)
+        self._coll_count[key] = index + 1
+        h = self._coll_hash.get(key, 0)
+        h = ((h * 1000003) ^ (zlib.crc32(routine.encode()) + seq)) & 0xFFFFFFFFFFFFFFFF
+        self._coll_hash[key] = h
+        self._coll_hist[rank].append((context, seq, routine))
+        return _CollToken(rank=rank, routine=routine, index=index, seq_hash=h)
+
+    def collective_check(self, rank: int, context: str, seq: int,
+                         tokens: Sequence[_CollToken]) -> None:
+        """Compare all ranks' tokens for one rendezvous; report divergence."""
+        mine = next(t for t in tokens if t.rank == rank)
+        for other in tokens:
+            if other.routine != mine.routine:
+                msg = (f"collective #{seq} on context {context!r}: "
+                       f"rank {mine.rank} issued {mine.routine} but "
+                       f"rank {other.rank} issued {other.routine} "
+                       "— collectives must be called in the same order on "
+                       "all ranks")
+                self.record("collective-mismatch", rank, msg,
+                            CollectiveMismatchError)
+                return
+        for other in tokens:
+            if other.seq_hash != mine.seq_hash or other.index != mine.index:
+                first = self._first_divergence(rank, other.rank)
+                msg = (f"collective #{seq} on context {context!r}: "
+                       f"op-sequence divergence between rank {mine.rank} "
+                       f"(op index {mine.index}) and rank {other.rank} "
+                       f"(op index {other.index}); first divergent op in "
+                       f"recent history: {first}")
+                self.record("collective-mismatch", rank, msg,
+                            CollectiveMismatchError)
+                return
+
+    def _first_divergence(self, a: int, b: int) -> str:
+        ha, hb = list(self._coll_hist[a]), list(self._coll_hist[b])
+        for i in range(max(len(ha), len(hb))):
+            ea = ha[i] if i < len(ha) else None
+            eb = hb[i] if i < len(hb) else None
+            if ea != eb:
+                return (f"rank {a}: {ea!r} vs rank {b}: {eb!r}")
+        return "(histories agree within retained window)"
+
+    # ------------------------------------------------------ point-to-point
+    def on_send(self, rank: int, context: str, env: "Envelope") -> None:
+        """Channel payload-type stability check, recorded at send time."""
+        if not self.config.p2p:
+            return
+        sig = type_signature(env.payload)
+        key = (context, env.source, env.dest, env.tag)
+        with self._flock:
+            prev = self._chan_types.get(key)
+            self._chan_types[key] = sig
+        if prev is not None and prev != sig:
+            self.record(
+                "p2p-type-instability", rank,
+                f"channel (context={context!r}, {env.source}->{env.dest}, "
+                f"tag={env.tag}) carried {prev} before but now {sig}; "
+                "matching receives cannot rely on a stable datatype")
+
+    def on_post_recv(self, rank: int, req: "RecvRequest") -> None:
+        """Track a posted nonblocking receive for finalize-time leak checks."""
+        if not self.config.p2p:
+            return
+        reqs = self._requests[rank]
+        reqs.append(req)
+        if len(reqs) > 256:
+            # Compact completed requests so payload references are released.
+            self._requests[rank] = [r for r in reqs if not r.complete]
+
+    # ------------------------------------------------------------ deadlock
+    def notify_progress(self, rank: int) -> None:
+        """A message/deposit arrived for ``rank``: its registered wait is
+        stale and must not count as stuck until it re-checks its mailbox."""
+        with self._dlock:
+            self._gen[rank] += 1
+
+    def notify_progress_all(self) -> None:
+        """Collective deposit: any waiter may be unblocked by it."""
+        with self._dlock:
+            for r in range(self.nranks):
+                self._gen[r] += 1
+
+    def enter_wait(self, rank: int, op: str, detail: str,
+                   waits_on: Iterable[int]) -> None:
+        """(Re-)register a blocked rank's current wait-for edge set."""
+        with self._dlock:
+            self._wait[rank] = _WaitState(
+                op=op, detail=detail,
+                waits_on=frozenset(waits_on) - {rank}, gen=self._gen[rank])
+
+    def exit_wait(self, rank: int) -> None:
+        with self._dlock:
+            self._wait[rank] = None
+
+    def check_deadlock(self, rank: int) -> None:
+        """Fixpoint over the wait-for graph; raises :class:`DeadlockError`
+        naming the cycle when ``rank`` belongs to a stuck group."""
+        if not self.config.deadlock:
+            return
+        with self._dlock:
+            waits = list(self._wait)
+            gens = list(self._gen)
+        stuck = {r for r, w in enumerate(waits)
+                 if w is not None and w.gen == gens[r] and w.waits_on}
+        changed = True
+        while changed:
+            changed = False
+            for r in list(stuck):
+                if any(peer not in stuck for peer in waits[r].waits_on):
+                    stuck.discard(r)
+                    changed = True
+        if rank not in stuck:
+            return
+        # Walk one concrete cycle through the stuck set for the report.
+        cycle = [rank]
+        seen = {rank}
+        cur = rank
+        while True:
+            nxt = min(p for p in waits[cur].waits_on if p in stuck)
+            if nxt in seen:
+                cycle.append(nxt)
+                break
+            cycle.append(nxt)
+            seen.add(nxt)
+            cur = nxt
+        hops = " -> ".join(
+            f"rank {r} blocked in {waits[r].op} {waits[r].detail}"
+            if i < len(cycle) - 1 else f"rank {r}"
+            for i, r in enumerate(cycle))
+        msg = (f"deadlock detected among ranks {sorted(stuck)}: {hops}")
+        self.record("deadlock", rank, msg, DeadlockError)
+
+    # ------------------------------------------------------------ finalize
+    def finalize(self, world) -> None:
+        """End-of-job hygiene: leaked requests and unconsumed envelopes.
+
+        Called by the runner after every rank thread joined cleanly.
+        """
+        if not self.config.p2p:
+            return
+        problems: list[str] = []
+        for rank in range(self.nranks):
+            leaked = [r for r in self._requests[rank] if not r.complete]
+            if leaked:
+                pend = ", ".join(
+                    f"(source={r.source}, tag={r.tag})" for r in leaked)
+                msg = (f"{len(leaked)} leaked RecvRequest(s) posted but "
+                       f"never completed: {pend}")
+                self.record("leaked-request", rank, msg, None)
+                problems.append(f"rank {rank}: {msg}")
+            left = world.leftover_envelopes(rank)
+            if left:
+                desc = ", ".join(
+                    f"from rank {e.source} tag={e.tag} (context={c!r}, "
+                    f"seq={e.seq}, {type_signature(e.payload)})"
+                    for c, e in left)
+                msg = (f"{len(left)} unconsumed Envelope(s) still in the "
+                       f"mailbox at finalize: {desc}")
+                self.record("unconsumed-envelope", rank, msg, None)
+                problems.append(f"rank {rank}: {msg}")
+        if problems and self.config.strict:
+            raise LeakError("; ".join(problems))
+
+    # ---------------------------------------------------------- ghost race
+    def ghost_guard(self, rank: int) -> "GhostGuard | None":
+        """A fresh per-exchange guard, or None when the family is off."""
+        if not self.config.ghost_race:
+            return None
+        return GhostGuard(self, rank)
+
+
+@dataclass
+class _Watch:
+    """One guarded patch region with an outstanding transfer."""
+
+    patch: "Patch"
+    region: Any
+    fields: tuple[str, ...]
+    tag: int
+    version: int
+    checksum: int
+
+
+@dataclass
+class GhostGuard:
+    """Race detector for one ghost-exchange drain.
+
+    ``watch_send``/``watch_recv`` stamp (version, checksum) of the patch
+    region when the nonblocking operation is posted;
+    ``check_recv``/``check_sends`` re-hash at completion and flag any
+    mid-exchange write.  One guard instance covers one
+    :func:`~repro.amr.ghost.execute_transfers` call.
+    """
+
+    sanitizer: Sanitizer
+    rank: int
+    _sends: list[_Watch] = field(default_factory=list)
+    _recvs: dict[int, _Watch] = field(default_factory=dict)
+
+    @staticmethod
+    def _checksum(patch: "Patch", region, fields: Sequence[str]) -> int:
+        crc = 0
+        for f in fields:
+            block = patch.view(f, region)
+            crc = zlib.crc32(block.tobytes(), crc)
+        return crc
+
+    def watch_send(self, patch: "Patch", region, fields: Sequence[str],
+                   tag: int) -> None:
+        self._sends.append(_Watch(
+            patch=patch, region=region, fields=tuple(fields), tag=tag,
+            version=patch.version,
+            checksum=self._checksum(patch, region, fields)))
+
+    def watch_recv(self, patch: "Patch", region, fields: Sequence[str],
+                   tag: int) -> None:
+        self._recvs[tag] = _Watch(
+            patch=patch, region=region, fields=tuple(fields), tag=tag,
+            version=patch.version,
+            checksum=self._checksum(patch, region, fields))
+
+    def _flag(self, w: _Watch, op: str) -> None:
+        self.sanitizer.record(
+            "ghost-race", self.rank,
+            f"ghost-region race: patch uid={w.patch.uid} region={w.region} "
+            f"fields={list(w.fields)} written while nonblocking {op} "
+            f"tag={w.tag} was outstanding (patch version "
+            f"{w.version} -> {w.patch.version})", GhostRaceError)
+
+    def check_recv(self, tag: int) -> None:
+        """Verify the destination region was untouched, then release it
+        (the matched insert is about to write it legitimately)."""
+        w = self._recvs.pop(tag, None)
+        if w is None:
+            return
+        if self._checksum(w.patch, w.region, w.fields) != w.checksum:
+            self._flag(w, "receive")
+
+    def check_sends(self) -> None:
+        """Verify every posted send's source region at drain completion."""
+        for w in self._sends:
+            if self._checksum(w.patch, w.region, w.fields) != w.checksum:
+                self._flag(w, "send")
+        self._sends.clear()

@@ -62,6 +62,7 @@ def run_scmd(
     fault_plan=None,
     resilience=None,
     observe=None,
+    sanitize=None,
 ) -> ScmdResult:
     """Run a component application on ``nranks`` simulated processors.
 
@@ -95,6 +96,12 @@ def run_scmd(
         collectives linked as causal cross-rank edges) plus a metrics
         registry.  Collect results from ``ScmdResult.world.obs`` via
         :func:`repro.obs.collect`.  None (default) traces nothing.
+    sanitize:
+        A :class:`~repro.analysis.sanitize.SanitizerConfig` enabling the
+        runtime MPI sanitizers (collective ordering, p2p hygiene, deadlock
+        and ghost-race detection); findings land on
+        ``ScmdResult.world.sanitizer.findings``.  None (default) checks
+        nothing.
     """
     injector = None
     if fault_plan is not None:
@@ -102,7 +109,8 @@ def run_scmd(
         injector = FaultInjector(fault_plan, nranks)
     runner = ParallelRunner(nranks, network=network, seed=seed,
                             timeout_s=timeout_s, injector=injector,
-                            policy=resilience, obs_config=observe)
+                            policy=resilience, obs_config=observe,
+                            sanitize=sanitize)
 
     def rank_main(comm) -> tuple[Any, dict, dict, dict, Any]:
         obs = comm.obs

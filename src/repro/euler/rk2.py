@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cca.component import Component
-from repro.cca.services import PortNotConnectedError, Services
+from repro.cca.services import Services
 from repro.euler.eos import GAMMA_DEFAULT, max_wavespeed
 from repro.euler.inviscid import RhsPort
 from repro.euler.mesh_component import FIELDS, stack_fields

@@ -26,6 +26,7 @@ import numpy as np
 from repro.faults.plan import (COMPONENT_DELAY, DELAY, DROP, DUPLICATE,
                                RAISE, FaultPlan)
 from repro.tau.trace import Tracer
+from repro.util.rng import rng_from_key
 
 
 class TransientComponentError(RuntimeError):
@@ -102,8 +103,7 @@ class FaultInjector:
             if f.probability < 1.0:
                 # Stream keyed by (seed, fault kind, fault index, rank):
                 # independent of every other draw in the simulator.
-                seq = np.random.SeedSequence((self.plan.seed, ord(tag), idx, rank))
-                rng = np.random.default_rng(seq)
+                rng = rng_from_key(self.plan.seed, ord(tag), idx, rank)
             out.append(_Matcher(f, rng))
         return out
 

@@ -24,7 +24,7 @@ identical failure schedule on every run.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 from repro.util.validation import check_in_range, check_non_negative
 

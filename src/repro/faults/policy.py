@@ -28,7 +28,7 @@ world's ordinary deadlock timeout, exactly as in the non-resilient path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.validation import check_non_negative, check_positive
 

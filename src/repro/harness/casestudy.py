@@ -75,6 +75,9 @@ class CaseStudyConfig:
     timeout_s: float = 300.0
     #: span tracing + metrics (see repro.obs); None traces nothing
     observe: Any = None
+    #: runtime MPI sanitizers (a repro.analysis SanitizerConfig); None
+    #: checks nothing
+    sanitize: Any = None
 
 
 @dataclass
@@ -239,4 +242,5 @@ def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
         fault_plan=config.fault_plan,
         resilience=config.resilience,
         observe=config.observe,
+        sanitize=config.sanitize,
     )

@@ -7,7 +7,7 @@ statistics the reproduction criteria are checked against, and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -18,7 +18,7 @@ from repro.euler.godunov import GodunovFluxComponent, GodunovKernel
 from repro.euler.states import StatesKernel
 from repro.harness.casestudy import (FLUX_PROXY, MESH_PROXY, STATES_PROXY,
                                      CaseStudyConfig, run_case_study)
-from repro.harness.sweeps import SweepSamples, measure_mode_sweep, q_grid
+from repro.harness.sweeps import SweepSamples, measure_mode_sweep
 from repro.models.performance import PerformanceModel, bin_by_q, build_model
 from repro.perf.dualgraph import build_dual, dual_to_composite
 from repro.perf.optimizer import AssemblyOptimizer, OptimizationResult

@@ -16,7 +16,6 @@ behaviour, which is what the paper's models capture.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -24,6 +23,7 @@ import numpy as np
 
 from repro.euler.eos import GAMMA_DEFAULT, conserved_from_primitive
 from repro.util.rng import make_rng
+from repro.util.timebase import now_us
 from repro.util.validation import check_positive
 
 
@@ -110,9 +110,9 @@ class SweepSamples:
 
 def time_call(fn: Callable[[], object]) -> float:
     """Wall-clock one call in microseconds."""
-    t0 = time.perf_counter_ns()
+    t0 = now_us()
     fn()
-    return (time.perf_counter_ns() - t0) / 1_000.0
+    return now_us() - t0
 
 
 def measure_mode_sweep(

@@ -16,7 +16,7 @@ This is the "cost function" the assembly optimizer minimizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np

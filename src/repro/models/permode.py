@@ -14,8 +14,8 @@ variance than the pooled model — quantified by :func:`variance_explained`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 

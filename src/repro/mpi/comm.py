@@ -63,6 +63,7 @@ class SimComm:
         self._coll_seq = 0
         self._dup_count = 0
         self._obs = world.obs[self.rank] if world.obs is not None else None
+        self._san = world.sanitizer
         # Registry lookups hash the label dict; at thousands of MPI ops per
         # step that shows up, so the hot path resolves each routine's
         # instruments once and reuses the references.
@@ -155,6 +156,8 @@ class SimComm:
             env.trace_ctx = (self.rank, ctx_span.span_id) if ctx_span else None
             tracer.flow_out(env.seq, span)
             self._bytes_counter.inc(nbytes)
+        if self._san is not None:
+            self._san.on_send(self.rank, self.context, env)
         injector = self.world.injector
         if injector is not None:
             action = injector.on_send(self.rank, dest, tag)
@@ -271,7 +274,12 @@ class SimComm:
         """Post a nonblocking receive (cost charged at completion)."""
         with self._span_ctx("MPI_Irecv", CAT_MPI, source=source, tag=tag):
             self.charge("MPI_Irecv", self.world.network.min_cost_us)
-        return RecvRequest(self, source, tag)
+        req = RecvRequest(self, source, tag)
+        if self._san is not None:
+            # Registered so a request never waited/tested to completion is
+            # reported as a leak at finalize.
+            self._san.on_post_recv(self.rank, req)
+        return req
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                status: Status | None = None) -> bool:
@@ -323,13 +331,26 @@ class SimComm:
     def _exchange(self, value: Any, routine: str | None = None) -> list[Any]:
         seq = self._coll_seq
         self._coll_seq += 1
-        with self._span_ctx(routine or "MPI_Exchange", CAT_MPI_WAIT,
-                            coll_seq=seq) as sp:
+        routine = routine or "MPI_Exchange"
+        san = self._san
+        check_order = san is not None and san.config.collective_order
+        if check_order:
+            # Piggyback (routine, op index, rolling op-sequence hash) so
+            # every rank can verify all P ranks issued the same collective.
+            value = (san.collective_token(self.rank, self.context, seq,
+                                          routine), value)
+        with self._span_ctx(routine, CAT_MPI_WAIT, coll_seq=seq) as sp:
             if self.world.policy is not None:
                 vals = self.world.exchange_resilient(
-                    self.context, seq, self.rank, value, self.world.policy)
+                    self.context, seq, self.rank, value, self.world.policy,
+                    routine=routine)
             else:
-                vals = self.world.exchange(self.context, seq, self.rank, value)
+                vals = self.world.exchange(self.context, seq, self.rank,
+                                           value, routine=routine)
+            if check_order:
+                san.collective_check(self.rank, self.context, seq,
+                                     [v[0] for v in vals])
+                vals = [v[1] for v in vals]
             if self._obs is not None:
                 # All participants share one flow id; the analyzer draws
                 # edges from the last arriver (who unblocked the slot) to

@@ -17,7 +17,7 @@ Defaults approximate the paper's testbed era (100 Mb/s switched Ethernet):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

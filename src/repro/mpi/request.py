@@ -149,6 +149,19 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
     obs = comm.obs
     wait_span = obs.tracer.current() if obs is not None else None
     t_retry = None
+    san = world.sanitizer
+    try:
+        return _wait_loop(requests, comm, world, cond, deadline, resilient,
+                          policy, next_retry, attempt, completed, pending,
+                          obs, wait_span, t_retry, want_all, san)
+    finally:
+        if san is not None:
+            san.exit_wait(comm.rank)
+
+
+def _wait_loop(requests, comm, world, cond, deadline, resilient, policy,
+               next_retry, attempt, completed, pending, obs, wait_span,
+               t_retry, want_all, san):
     with cond:
         while True:
             if world.aborted:
@@ -212,6 +225,20 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
             wait_s = min(remaining, 0.5)
             if resilient:
                 wait_s = min(wait_s, max(next_retry - now, 0.0))
+            if san is not None and san.config.deadlock:
+                waits_on: set[int] = set()
+                pends = []
+                for i in pending:
+                    r = requests[i]
+                    if isinstance(r, RecvRequest):
+                        waits_on |= world.recv_waits_on(comm.rank, r.source)
+                        pends.append(f"(source={r.source}, tag={r.tag})")
+                san.enter_wait(
+                    comm.rank, "MPI_Wait",
+                    f"({len(pends)} pending recv(s): {', '.join(pends)})",
+                    waits_on)
+                san.check_deadlock(comm.rank)
+                wait_s = min(wait_s, san.config.deadlock_poll_s)
             cond.wait(wait_s)
 
 

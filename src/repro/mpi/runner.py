@@ -53,6 +53,7 @@ class ParallelRunner:
         injector=None,
         policy=None,
         obs_config=None,
+        sanitize=None,
     ) -> None:
         check_positive("nranks", nranks)
         self.nranks = int(nranks)
@@ -64,6 +65,8 @@ class ParallelRunner:
         self.policy = policy
         #: optional ObsConfig enabling per-rank span tracing + metrics
         self.obs_config = obs_config
+        #: optional SanitizerConfig enabling runtime MPI correctness checks
+        self.sanitize = sanitize
         #: the world of the most recent ``run`` (exposes per-rank accounting)
         self.last_world: SimWorld | None = None
 
@@ -75,7 +78,8 @@ class ParallelRunner:
         """
         world = SimWorld(self.nranks, network=self.network, seed=self.seed,
                          timeout_s=self.timeout_s, injector=self.injector,
-                         policy=self.policy, obs_config=self.obs_config)
+                         policy=self.policy, obs_config=self.obs_config,
+                         sanitize=self.sanitize)
         self.last_world = world
         results: list[Any] = [None] * self.nranks
         failures: dict[int, str] = {}
@@ -85,7 +89,7 @@ class ParallelRunner:
             comm = SimComm(world, rank)
             try:
                 results[rank] = fn(comm, *args, **kwargs)
-            except BaseException:
+            except BaseException:  # ra: noqa[RA005] — rank isolation barrier
                 with lock:
                     failures[rank] = traceback.format_exc()
                 world.abort(f"rank {rank} raised")
@@ -108,4 +112,7 @@ class ParallelRunner:
                 r: tb for r, tb in failures.items() if "simulated MPI job aborted" not in tb
             }
             raise RankFailure(primary or failures)
+        if world.sanitizer is not None:
+            # End-of-job hygiene: leaked requests / unconsumed envelopes.
+            world.sanitizer.finalize(world)
         return results

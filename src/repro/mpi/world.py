@@ -24,9 +24,10 @@ import threading
 import time
 from typing import Any
 
+from repro.analysis.sanitize import Sanitizer, SanitizerConfig
 from repro.faults.policy import CommFailure, ResiliencePolicy, ResilienceStats
 from repro.mpi.accounting import MPIAccounting
-from repro.mpi.message import Envelope
+from repro.mpi.message import ANY_SOURCE, Envelope
 from repro.mpi.network import NetworkModel
 from repro.obs.runtime import ObsConfig, build_obs
 from repro.util.rng import spawn_rngs
@@ -63,6 +64,7 @@ class SimWorld:
         injector=None,
         policy: ResiliencePolicy | None = None,
         obs_config: ObsConfig | None = None,
+        sanitize: SanitizerConfig | None = None,
     ) -> None:
         check_positive("nranks", nranks)
         check_positive("timeout_s", timeout_s)
@@ -74,6 +76,10 @@ class SimWorld:
         # Per-rank observability state (span tracer + metrics registry),
         # or None when tracing is off.
         self.obs = build_obs(self.nranks, obs_config)
+        # Runtime correctness checkers (collective ordering, p2p hygiene,
+        # deadlock and ghost-race detection), or None when off.
+        self.sanitizer = (Sanitizer(self.nranks, sanitize, obs=self.obs)
+                          if sanitize is not None else None)
 
         # Fault injection and recovery (both optional and independent: an
         # injector without a policy reproduces failures un-handled; a
@@ -128,6 +134,10 @@ class SimWorld:
         cond = self._mail_conds[env.dest]
         with cond:
             self._mailboxes.setdefault((context, env.dest), []).append(env)
+            if self.sanitizer is not None:
+                # A registered wait by the destination is now stale: it must
+                # re-check its mailbox before counting as deadlocked.
+                self.sanitizer.notify_progress(env.dest)
             cond.notify_all()
 
     def try_match(self, context: str, rank: int, source: int, tag: int) -> Envelope | None:
@@ -136,24 +146,49 @@ class SimWorld:
         with cond:
             return self._pop_locked(context, rank, source, tag)
 
+    def recv_waits_on(self, rank: int, source: int) -> set[int]:
+        """Ranks whose progress could satisfy a receive from ``source``."""
+        if source == ANY_SOURCE:
+            return set(range(self.nranks)) - {rank}
+        return {source}
+
+    def _sanitize_blocked_recv(self, rank: int, source: int, tag: int,
+                               context: str, wait_s: float) -> float:
+        """Register a blocked receive with the deadlock detector and run a
+        detection pass; returns the (possibly shortened) wait timeout."""
+        san = self.sanitizer
+        if san is None or not san.config.deadlock:
+            return wait_s
+        san.enter_wait(rank, "MPI_Recv",
+                       f"(source={source}, tag={tag}, context={context!r})",
+                       self.recv_waits_on(rank, source))
+        san.check_deadlock(rank)
+        return min(wait_s, san.config.deadlock_poll_s)
+
     def match(self, context: str, rank: int, source: int, tag: int) -> Envelope:
         """Blocking receive match with deadlock timeout."""
         cond = self._mail_conds[rank]
         deadline = time.monotonic() + self.timeout_s
-        with cond:
-            while True:
-                self._check_abort()
-                env = self._pop_locked(context, rank, source, tag)
-                if env is not None:
-                    return env
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise SimMPIError(
-                        f"rank {rank} timed out after {self.timeout_s}s waiting for "
-                        f"message (source={source}, tag={tag}, context={context!r}) — "
-                        "likely deadlock"
-                    )
-                cond.wait(min(remaining, 0.5))
+        try:
+            with cond:
+                while True:
+                    self._check_abort()
+                    env = self._pop_locked(context, rank, source, tag)
+                    if env is not None:
+                        return env
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise SimMPIError(
+                            f"rank {rank} timed out after {self.timeout_s}s waiting for "
+                            f"message (source={source}, tag={tag}, context={context!r}) — "
+                            "likely deadlock"
+                        )
+                    wait_s = self._sanitize_blocked_recv(
+                        rank, source, tag, context, min(remaining, 0.5))
+                    cond.wait(wait_s)
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.exit_wait(rank)
 
     def _pop_locked(self, context: str, rank: int, source: int, tag: int) -> Envelope | None:
         box = self._mailboxes.get((context, rank))
@@ -203,6 +238,17 @@ class SimWorld:
         cond = self._mail_conds[rank]
         with cond:
             return len(self._mailboxes.get((context, rank), []))
+
+    def leftover_envelopes(self, rank: int) -> list[tuple[str, Envelope]]:
+        """Every undelivered envelope still addressed to ``rank``, across
+        all contexts (sanitizer finalize: unconsumed-message detection)."""
+        cond = self._mail_conds[rank]
+        out: list[tuple[str, Envelope]] = []
+        with cond:
+            for (context, dest), box in self._mailboxes.items():
+                if dest == rank:
+                    out.extend((context, env) for env in box)
+        return out
 
     # ------------------------------------------------- drop/recovery store
     def stash_dropped(self, context: str, env: Envelope, recoverable: bool) -> None:
@@ -256,62 +302,96 @@ class SimWorld:
         retry round) and return None instead of raising."""
         cond = self._mail_conds[rank]
         deadline = time.monotonic() + timeout_s
-        with cond:
-            while True:
-                self._check_abort()
-                env = self._pop_locked(context, rank, source, tag)
-                if env is not None:
-                    return env
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return None
-                cond.wait(min(remaining, 0.5))
+        try:
+            with cond:
+                while True:
+                    self._check_abort()
+                    env = self._pop_locked(context, rank, source, tag)
+                    if env is not None:
+                        return env
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    wait_s = self._sanitize_blocked_recv(
+                        rank, source, tag, context, min(remaining, 0.5))
+                    cond.wait(wait_s)
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.exit_wait(rank)
 
     # ---------------------------------------------------------- collective
-    def exchange(self, context: str, seq: int, rank: int, value: Any) -> list[Any]:
+    def _sanitize_blocked_collective(self, rank: int, key: tuple[str, int],
+                                     slot: "_CollectiveSlot", routine: str,
+                                     wait_s: float) -> float:
+        """Register a rank blocked in a collective with the deadlock
+        detector (waiting on the ranks that have not deposited yet)."""
+        san = self.sanitizer
+        if san is None or not san.config.deadlock:
+            return wait_s
+        missing = set(range(self.nranks)) - set(slot.values)
+        san.enter_wait(rank, routine,
+                       f"(collective #{key[1]}, context={key[0]!r}, "
+                       f"waiting on ranks {sorted(missing)})", missing)
+        san.check_deadlock(rank)
+        return min(wait_s, san.config.deadlock_poll_s)
+
+    def exchange(self, context: str, seq: int, rank: int, value: Any,
+                 routine: str = "MPI_Exchange") -> list[Any]:
         """All-to-all rendezvous: every rank deposits, all read all values.
 
         ``seq`` is the per-communicator collective call counter; because MPI
         requires all ranks to issue collectives in the same order, equal
         ``(context, seq)`` identifies the same logical collective on every
         rank.  Returns values ordered by rank.  The last reader frees the
-        slot so the table stays bounded.
+        slot so the table stays bounded.  ``routine`` is diagnostic only
+        (deadlock reports name the blocked operation).
         """
         key = (context, seq)
         deadline = time.monotonic() + self.timeout_s
-        with self._coll_cond:
-            slot = self._coll_slots.get(key)
-            if slot is None:
-                slot = _CollectiveSlot()
-                self._coll_slots[key] = slot
-            if rank in slot.values:
-                raise SimMPIError(
-                    f"rank {rank} deposited twice into collective {key}; "
-                    "collectives must be called in the same order on all ranks"
-                )
-            slot.values[rank] = value
-            slot.deposited += 1
-            if slot.deposited == self.nranks:
-                slot.ready = True
-                self._coll_cond.notify_all()
-            while not slot.ready:
-                self._check_abort()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+        try:
+            with self._coll_cond:
+                slot = self._coll_slots.get(key)
+                if slot is None:
+                    slot = _CollectiveSlot()
+                    self._coll_slots[key] = slot
+                if rank in slot.values:
                     raise SimMPIError(
-                        f"rank {rank} timed out in collective {key}: only "
-                        f"{slot.deposited}/{self.nranks} ranks arrived — likely "
-                        "mismatched collective calls"
+                        f"rank {rank} deposited twice into collective {key}; "
+                        "collectives must be called in the same order on all ranks"
                     )
-                self._coll_cond.wait(min(remaining, 0.5))
-            result = [slot.values[r] for r in range(self.nranks)]
-            slot.readers += 1
-            if slot.readers == self.nranks:
-                del self._coll_slots[key]
-            return result
+                slot.values[rank] = value
+                slot.deposited += 1
+                if self.sanitizer is not None:
+                    # A deposit can unblock any waiter: registered waits on
+                    # this rank are stale until re-checked.
+                    self.sanitizer.notify_progress_all()
+                if slot.deposited == self.nranks:
+                    slot.ready = True
+                    self._coll_cond.notify_all()
+                while not slot.ready:
+                    self._check_abort()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise SimMPIError(
+                            f"rank {rank} timed out in collective {key}: only "
+                            f"{slot.deposited}/{self.nranks} ranks arrived — likely "
+                            "mismatched collective calls"
+                        )
+                    wait_s = self._sanitize_blocked_collective(
+                        rank, key, slot, routine, min(remaining, 0.5))
+                    self._coll_cond.wait(wait_s)
+                result = [slot.values[r] for r in range(self.nranks)]
+                slot.readers += 1
+                if slot.readers == self.nranks:
+                    del self._coll_slots[key]
+                return result
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.exit_wait(rank)
 
     def exchange_resilient(self, context: str, seq: int, rank: int, value: Any,
-                           policy: ResiliencePolicy) -> list[Any]:
+                           policy: ResiliencePolicy,
+                           routine: str = "MPI_Exchange") -> list[Any]:
         """Bounded-retry variant of :meth:`exchange`.
 
         Waits in ``policy.max_attempts`` rounds of
@@ -323,50 +403,59 @@ class SimWorld:
         """
         key = (context, seq)
         hard_deadline = time.monotonic() + self.timeout_s
-        with self._coll_cond:
-            slot = self._coll_slots.get(key)
-            if slot is None:
-                slot = _CollectiveSlot()
-                self._coll_slots[key] = slot
-            if rank in slot.values:
-                raise SimMPIError(
-                    f"rank {rank} deposited twice into collective {key}; "
-                    "collectives must be called in the same order on all ranks"
-                )
-            slot.values[rank] = value
-            slot.deposited += 1
-            if slot.deposited == self.nranks:
-                slot.ready = True
-                self._coll_cond.notify_all()
-            attempt = 0
-            round_deadline = time.monotonic() + min(
-                policy.collective_timeout_s, self.timeout_s)
-            while not slot.ready:
-                self._check_abort()
-                now = time.monotonic()
-                if now >= hard_deadline:
+        try:
+            with self._coll_cond:
+                slot = self._coll_slots.get(key)
+                if slot is None:
+                    slot = _CollectiveSlot()
+                    self._coll_slots[key] = slot
+                if rank in slot.values:
                     raise SimMPIError(
-                        f"rank {rank} timed out in collective {key}: only "
-                        f"{slot.deposited}/{self.nranks} ranks arrived — likely "
-                        "mismatched collective calls"
+                        f"rank {rank} deposited twice into collective {key}; "
+                        "collectives must be called in the same order on all ranks"
                     )
-                if now >= round_deadline:
-                    attempt += 1
-                    self.resilience[rank].retry_rounds += 1
-                    if attempt >= policy.max_attempts:
-                        self.resilience[rank].failures += 1
-                        raise CommFailure(
-                            f"rank {rank}: collective {key} incomplete after "
-                            f"{attempt} bounded round(s) "
-                            f"({slot.deposited}/{self.nranks} ranks arrived)"
+                slot.values[rank] = value
+                slot.deposited += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.notify_progress_all()
+                if slot.deposited == self.nranks:
+                    slot.ready = True
+                    self._coll_cond.notify_all()
+                attempt = 0
+                round_deadline = time.monotonic() + min(
+                    policy.collective_timeout_s, self.timeout_s)
+                while not slot.ready:
+                    self._check_abort()
+                    now = time.monotonic()
+                    if now >= hard_deadline:
+                        raise SimMPIError(
+                            f"rank {rank} timed out in collective {key}: only "
+                            f"{slot.deposited}/{self.nranks} ranks arrived — likely "
+                            "mismatched collective calls"
                         )
-                    self.resilience[rank].collective_retries += 1
-                    round_deadline = now + policy.collective_timeout_s * (
-                        policy.backoff_factor ** attempt)
-                    continue
-                self._coll_cond.wait(min(round_deadline - now, 0.5))
-            result = [slot.values[r] for r in range(self.nranks)]
-            slot.readers += 1
-            if slot.readers == self.nranks:
-                del self._coll_slots[key]
-            return result
+                    if now >= round_deadline:
+                        attempt += 1
+                        self.resilience[rank].retry_rounds += 1
+                        if attempt >= policy.max_attempts:
+                            self.resilience[rank].failures += 1
+                            raise CommFailure(
+                                f"rank {rank}: collective {key} incomplete after "
+                                f"{attempt} bounded round(s) "
+                                f"({slot.deposited}/{self.nranks} ranks arrived)"
+                            )
+                        self.resilience[rank].collective_retries += 1
+                        round_deadline = now + policy.collective_timeout_s * (
+                            policy.backoff_factor ** attempt)
+                        continue
+                    wait_s = self._sanitize_blocked_collective(
+                        rank, key, slot, routine,
+                        min(round_deadline - now, 0.5))
+                    self._coll_cond.wait(wait_s)
+                result = [slot.values[r] for r in range(self.nranks)]
+                slot.readers += 1
+                if slot.readers == self.nranks:
+                    del self._coll_slots[key]
+                return result
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.exit_wait(rank)

@@ -16,8 +16,8 @@ port (Figure 10's "dynamic replacement of sub-optimal components").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 

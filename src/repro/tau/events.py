@@ -10,7 +10,6 @@ Streaming mean/variance use Welford's algorithm for numerical stability.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 
 class AtomicEvent:

@@ -10,7 +10,7 @@ TAU profiling semantics (paper Section 4.1 / Figure 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

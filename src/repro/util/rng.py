@@ -32,3 +32,14 @@ def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
         raise ValueError(f"n must be non-negative, got {n}")
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def rng_from_key(*key: int) -> np.random.Generator:
+    """Create a Generator keyed by a tuple of integers.
+
+    A counter-based construction: the same ``(seed, site, index, rank, ...)``
+    key always yields the same stream, independent of call order — use it
+    wherever a draw must be reproducible at an arbitrary program point
+    (e.g. per-event fault decisions).
+    """
+    return np.random.default_rng(np.random.SeedSequence(list(key)))

@@ -1,7 +1,6 @@
 """Property-based structural tests of the regrid pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

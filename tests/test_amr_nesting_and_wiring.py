@@ -1,7 +1,6 @@
 """Hierarchy structural invariants and the wiring-diagram renderer."""
 
 import numpy as np
-import pytest
 
 from repro.amr.box import Box
 from repro.amr.hierarchy import GridHierarchy

@@ -1,0 +1,331 @@
+"""The RA rule catalogue: one good/bad fixture pair per rule, suppression,
+reporters and the CLI contract of ``python -m repro.analysis``."""
+
+import json
+
+from repro.analysis import Finding, human_report, json_report, lint_file, lint_paths
+from repro.analysis.__main__ import main
+
+
+def _lint(tmp_path, source, rules=None, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_file(path, rules=rules)
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+# --------------------------------------------------------------------- RA001
+def test_ra001_flags_start_without_stop(tmp_path):
+    findings = _lint(tmp_path, """
+def go(profiler):
+    profiler.start("flux")
+    compute()
+""", rules=["RA001"])
+    assert _codes(findings) == ["RA001"]
+    assert "'flux'" in findings[0].message
+    assert "1 start(s) but 0 stop(s)" in findings[0].message
+    assert "'go'" in findings[0].message
+
+
+def test_ra001_balanced_and_context_manager_pass(tmp_path):
+    findings = _lint(tmp_path, """
+def go(profiler):
+    profiler.start("flux")
+    compute()
+    profiler.stop("flux")
+
+def ctx(profiler):
+    with profiler.timer("flux"):
+        compute()
+""", rules=["RA001"])
+    assert findings == []
+
+
+def test_ra001_dynamic_name_is_ignored(tmp_path):
+    findings = _lint(tmp_path, """
+def go(profiler, name):
+    profiler.start(name)
+""", rules=["RA001"])
+    assert findings == []
+
+
+# --------------------------------------------------------------------- RA002
+def test_ra002_flags_wall_clock_and_rng(tmp_path):
+    findings = _lint(tmp_path, """
+import time
+import numpy as np
+
+def stamp():
+    return time.time()
+
+def draw():
+    return np.random.default_rng().normal()
+""", rules=["RA002"])
+    assert _codes(findings) == ["RA002", "RA002"]
+    assert "time.time()" in findings[0].message
+    assert "np.random.default_rng()" in findings[1].message
+
+
+def test_ra002_monotonic_and_sanctioned_helpers_pass(tmp_path):
+    findings = _lint(tmp_path, """
+import time
+from repro.util.rng import make_rng
+from repro.util.timebase import now_us
+
+def deadline():
+    return time.monotonic() + 5.0
+
+def draw(seed):
+    return make_rng(seed).normal(), now_us()
+""", rules=["RA002"])
+    assert findings == []
+
+
+def test_ra002_sanctioned_files_are_exempt(tmp_path):
+    d = tmp_path / "repro" / "util"
+    d.mkdir(parents=True)
+    path = d / "timebase.py"
+    path.write_text("import time\n\ndef now_us():\n    return time.time()\n")
+    assert lint_file(path, rules=["RA002"]) == []
+
+
+def test_ra002_flags_tainted_from_imports(tmp_path):
+    findings = _lint(tmp_path, "from random import randint\n", rules=["RA002"])
+    assert _codes(findings) == ["RA002"]
+    assert "random.randint" in findings[0].message
+
+
+# --------------------------------------------------------------------- RA003
+def test_ra003_flags_dead_uses_port(tmp_path):
+    findings = _lint(tmp_path, """
+class Flux:
+    def set_services(self, services):
+        services.register_uses_port("states", object)
+        services.register_uses_port("mesh", object)
+
+    def go(self):
+        self.services.get_port("mesh")
+""", rules=["RA003"])
+    assert _codes(findings) == ["RA003"]
+    assert "'states'" in findings[0].message and "'Flux'" in findings[0].message
+
+
+def test_ra003_dynamic_port_names_opt_out(tmp_path):
+    findings = _lint(tmp_path, """
+class Flux:
+    def set_services(self, services):
+        services.register_uses_port("states", object)
+
+    def go(self, name):
+        self.services.get_port(name)
+""", rules=["RA003"])
+    assert findings == []
+
+
+def test_ra003_flags_script_connecting_unknown_instance(tmp_path):
+    findings = _lint(tmp_path, '''
+SCRIPT = """
+instantiate FluxComponent flux
+connect driver mesh flux flux  # driver never instantiated
+go flux
+"""
+''', rules=["RA003"])
+    assert _codes(findings) == ["RA003"]
+    assert "'driver'" in findings[0].message
+
+
+def test_ra003_well_formed_script_passes(tmp_path):
+    findings = _lint(tmp_path, '''
+SCRIPT = """
+instantiate Driver driver
+instantiate FluxComponent flux
+connect driver flux flux flux
+go driver
+destroy driver
+"""
+''', rules=["RA003"])
+    assert findings == []
+
+
+# --------------------------------------------------------------------- RA004
+def test_ra004_flags_mutable_defaults(tmp_path):
+    findings = _lint(tmp_path, """
+def a(x=[]):
+    return x
+
+def b(*, y={}):
+    return y
+
+def c(z=dict()):
+    return z
+""", rules=["RA004"])
+    assert _codes(findings) == ["RA004", "RA004", "RA004"]
+
+
+def test_ra004_none_default_passes(tmp_path):
+    findings = _lint(tmp_path, """
+def a(x=None, y=0, z=(1, 2)):
+    return x or []
+""", rules=["RA004"])
+    assert findings == []
+
+
+# --------------------------------------------------------------------- RA005
+def test_ra005_flags_bare_and_swallowing_excepts(tmp_path):
+    findings = _lint(tmp_path, """
+def a():
+    try:
+        risky()
+    except:
+        handle()
+
+def b():
+    try:
+        risky()
+    except BaseException:
+        log()
+
+def c():
+    try:
+        risky()
+    except Exception:
+        pass
+""", rules=["RA005"])
+    assert _codes(findings) == ["RA005", "RA005", "RA005"]
+
+
+def test_ra005_reraise_and_narrow_handlers_pass(tmp_path):
+    findings = _lint(tmp_path, """
+def a():
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+        raise
+
+def b():
+    try:
+        risky()
+    except (KeyError, ValueError):
+        handle()
+
+def c():
+    try:
+        risky()
+    except Exception as exc:
+        log(exc)
+""", rules=["RA005"])
+    assert findings == []
+
+
+# --------------------------------------------------------------------- RA006
+def test_ra006_flags_mpi_call_in_nested_loop(tmp_path):
+    findings = _lint(tmp_path, """
+def sweep(comm, patches):
+    for p in patches:
+        for cell in p.cells:
+            comm.send(cell, dest=0)
+""", rules=["RA006"])
+    assert _codes(findings) == ["RA006"]
+    assert "comm.send()" in findings[0].message
+    assert "2 nested" in findings[0].message
+
+
+def test_ra006_single_loop_and_nested_function_pass(tmp_path):
+    findings = _lint(tmp_path, """
+def per_patch(comm, patches):
+    for p in patches:
+        comm.send(p, dest=0)
+
+def outer(comm, patches):
+    for p in patches:
+        for c in p.cells:
+            def helper():
+                comm.barrier()  # fresh scope: not a per-cell call site
+""", rules=["RA006"])
+    assert findings == []
+
+
+# --------------------------------------------------------------- suppression
+def test_noqa_suppresses_single_code(tmp_path):
+    findings = _lint(tmp_path, """
+import time
+
+def stamp():
+    return time.time()  # ra: noqa[RA002]
+
+def other(x=[]):
+    return x
+""")
+    assert _codes(findings) == ["RA004"]
+
+
+def test_noqa_without_codes_suppresses_all(tmp_path):
+    findings = _lint(tmp_path, "def a(x=[]):  # ra: noqa\n    return x\n")
+    assert findings == []
+
+
+def test_noqa_for_other_code_does_not_suppress(tmp_path):
+    findings = _lint(tmp_path, "def a(x=[]):  # ra: noqa[RA002]\n    return x\n")
+    assert _codes(findings) == ["RA004"]
+
+
+# ----------------------------------------------------------------- reporters
+def test_reports_and_ordering(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import time\n\ndef a(x=[]):\n    return time.time()\n")
+    findings = lint_paths([str(path)])
+    assert _codes(findings) == ["RA004", "RA002"]  # sorted by line
+
+    human = human_report(findings)
+    assert f"{path}:3:" in human and "RA004" in human
+    assert "repro.analysis: 2 finding(s) (RA002=1, RA004=1)" in human
+
+    payload = json.loads(json_report(findings))
+    assert payload["total"] == 2
+    assert payload["counts"] == {"RA002": 1, "RA004": 1}
+    assert payload["findings"][0]["rule"] == "RA004"
+    assert payload["findings"][0]["path"] == str(path)
+
+
+def test_human_report_clean():
+    assert human_report([]) == "repro.analysis: no findings"
+
+
+def test_finding_format():
+    f = Finding("RA001", "x.py", 3, 7, "boom")
+    assert f.format() == "x.py:3:7: RA001 boom"
+
+
+# ----------------------------------------------------------------------- CLI
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def a():\n    return 1\n")
+    assert main([str(clean)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def a(x=[]):\n    return x\n")
+    assert main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"RA004": 1}
+
+
+def test_cli_rule_selection(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def a(x=[]):\n    return x\n")
+    assert main([str(dirty), "--rules", "RA002"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "repro.analysis" in capsys.readouterr().err
+
+
+def test_repo_source_tree_is_clean():
+    """The acceptance gate: the shipped tree lints clean."""
+    assert lint_paths(["src"]) == []

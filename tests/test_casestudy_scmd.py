@@ -1,6 +1,5 @@
 """The instrumented case study on 3 simulated processors."""
 
-import numpy as np
 import pytest
 
 from repro.cca.scmd import MAIN_TIMER

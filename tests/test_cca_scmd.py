@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cca import Component, Framework, Port, run_scmd
+from repro.cca import Component, Framework, run_scmd
 from repro.cca.ports import GoPort
 from repro.cca.scmd import MAIN_TIMER
 from repro.mpi.network import LOOPBACK

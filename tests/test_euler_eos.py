@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.euler.eos import (GAMMA_DEFAULT, conserved_from_primitive, flux_x,
+from repro.euler.eos import (conserved_from_primitive, flux_x,
                              max_wavespeed, pressure,
                              primitive_from_conserved, sound_speed)
 

@@ -9,7 +9,6 @@ from repro.euler import (AMRMeshComponent, DriverParams, EFMFluxComponent,
                          RK2Component, ShockDriver, StatesComponent)
 from repro.euler.eos import conserved_from_primitive
 from repro.euler.setup import post_shock_state, shock_interface_ic
-from repro.mpi.network import LOOPBACK
 
 
 def build_framework(params, flux_cls=EFMFluxComponent):

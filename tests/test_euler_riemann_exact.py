@@ -7,7 +7,6 @@ from repro.cca import Framework
 from repro.euler import (AMRMeshComponent, DriverParams, GodunovFluxComponent,
                          EFMFluxComponent, InviscidFluxComponent,
                          RK2Component, StatesComponent)
-from repro.euler.eos import conserved_from_primitive
 from repro.euler.godunov import sample_interface, solve_star_pressure
 from repro.euler.riemann_exact import (SOD_LEFT, SOD_RIGHT, sample_riemann,
                                        sod_exact)

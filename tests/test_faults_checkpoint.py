@@ -13,8 +13,7 @@ from repro.euler.ports import DriverParams
 from repro.euler.setup import shock_interface_ic
 from repro.faults.checkpoint import (CheckpointConfig, Checkpointer,
                                      hierarchy_state, hierarchy_states_equal,
-                                     latest_step, load_rank_state,
-                                     restore_hierarchy)
+                                     latest_step, load_rank_state)
 from repro.perf.records import InvocationRecord, MethodRecord
 from repro.tau.query import InvocationMeasurement
 from repro.tau.trace import Tracer, chrome_trace_events, dump_chrome_trace

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import (ANY_SOURCE, ANY_TAG, ParallelRunner, SimMPIError,
+from repro.mpi import (ANY_SOURCE, ANY_TAG, ParallelRunner,
                        Status, waitall, waitany, waitsome)
 from repro.mpi.network import LOOPBACK
 

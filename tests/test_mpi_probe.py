@@ -1,6 +1,5 @@
 """Probe/iprobe semantics of the MPI simulator."""
 
-import pytest
 
 from repro.mpi import ANY_SOURCE, ANY_TAG, ParallelRunner, Status
 from repro.mpi.network import LOOPBACK

@@ -14,7 +14,6 @@ from repro.obs.export import (collect, validate_chrome_payload,
                               validate_trace_file, write_metrics, write_trace)
 from repro.obs.runtime import ObsConfig, RankObs
 from repro.obs.span import CAT_COMPUTE, CAT_MPI, SpanTracer
-from repro.tau.trace import dump_chrome_trace_spans
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Automatic proxy generation and interposition."""
 
-import numpy as np
 import pytest
 
 from repro.cca import Component, Framework, Port
