@@ -293,14 +293,22 @@ class Sanitizer:
         with self._dlock:
             self._wait[rank] = None
 
-    def check_deadlock(self, rank: int) -> None:
-        """Fixpoint over the wait-for graph; raises :class:`DeadlockError`
-        naming the cycle when ``rank`` belongs to a stuck group."""
-        if not self.config.deadlock:
-            return
+    def _deadlock_snapshot(self) -> tuple[list[_WaitState | None], list[int]]:
+        """Consistent (wait states, progress generations) snapshot.
+
+        The seam process backends override: their ranks live in separate
+        processes, so the snapshot must be read from a shared-memory wait
+        table rather than this process's lists (see
+        :class:`repro.mpi.mpshm.SharedSanitizer`).
+        """
         with self._dlock:
-            waits = list(self._wait)
-            gens = list(self._gen)
+            return list(self._wait), list(self._gen)
+
+    @staticmethod
+    def _stuck_set(waits: list[_WaitState | None], gens: list[int]) -> set[int]:
+        """Fixpoint over the wait-for graph: the set of ranks whose every
+        wait-for edge leads to another member with no progress since
+        registration."""
         stuck = {r for r, w in enumerate(waits)
                  if w is not None and w.gen == gens[r] and w.waits_on}
         changed = True
@@ -310,8 +318,21 @@ class Sanitizer:
                 if any(peer not in stuck for peer in waits[r].waits_on):
                     stuck.discard(r)
                     changed = True
+        return stuck
+
+    def check_deadlock(self, rank: int) -> None:
+        """Fixpoint over the wait-for graph; raises :class:`DeadlockError`
+        naming the cycle when ``rank`` belongs to a stuck group."""
+        if not self.config.deadlock:
+            return
+        waits, gens = self._deadlock_snapshot()
+        stuck = self._stuck_set(waits, gens)
         if rank not in stuck:
             return
+        self._raise_deadlock(rank, waits, stuck)
+
+    def _raise_deadlock(self, rank: int, waits: list[_WaitState | None],
+                        stuck: set[int]) -> None:
         # Walk one concrete cycle through the stuck set for the report.
         cycle = [rank]
         seen = {rank}

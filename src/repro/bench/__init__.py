@@ -1,0 +1,25 @@
+"""Persistent performance trajectory for the scaling benchmarks.
+
+The scaling and collective benches record named *cells* (scalar metrics)
+into a JSON trajectory file — ``BENCH_scaling.json`` — via
+:func:`record_cell`.  A committed copy of that file at the repo root is
+the baseline; ``python -m repro.bench check`` compares a freshly
+generated trajectory against it and fails on regressions beyond a
+tolerance (the CI bench-trajectory gate).
+
+Modeled (virtual-microsecond) metrics are deterministic given the seed,
+so they gate reliably even on noisy shared runners; wall-clock metrics
+are recorded for trend-watching and marked ``gate=False``.
+"""
+
+from repro.bench.trajectory import (Cell, Regression, compare, format_report,
+                                    load, record_cell)
+
+__all__ = [
+    "Cell",
+    "Regression",
+    "compare",
+    "format_report",
+    "load",
+    "record_cell",
+]

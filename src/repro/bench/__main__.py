@@ -1,0 +1,54 @@
+"""CLI: compare a fresh benchmark trajectory against the committed baseline.
+
+Usage::
+
+    python -m repro.bench check \
+        --baseline BENCH_scaling.json \
+        --current benchmarks/out/BENCH_scaling.json \
+        [--tolerance 0.20]
+
+Exits 1 when any gated cell regressed beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.trajectory import compare, format_report, load
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser("check", help="compare current vs baseline")
+    check.add_argument("--baseline", required=True,
+                       help="committed trajectory file")
+    check.add_argument("--current", required=True,
+                       help="freshly generated trajectory file")
+    check.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed fractional slowdown (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if not baseline:
+        print(f"no baseline cells at {args.baseline}; nothing to gate")
+        return 0
+    if not current:
+        print(f"error: no current cells at {args.current} — did the "
+              "scaling benches run?", file=sys.stderr)
+        return 1
+    regressions = compare(baseline, current, tolerance=args.tolerance)
+    print(format_report(baseline, current, regressions))
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r.format()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

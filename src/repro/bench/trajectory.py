@@ -1,0 +1,150 @@
+"""Trajectory file format and regression comparison.
+
+A trajectory file is JSON::
+
+    {"schema": 1,
+     "cells": {"allreduce_hier_p16_us": {"value": 123.4,
+                                         "unit": "us",
+                                         "higher_is_better": false,
+                                         "gate": true,
+                                         "meta": {...}}}}
+
+Cells default to lower-is-better (times, modeled costs).  ``gate=False``
+cells are recorded for trend-watching but skipped by :func:`compare` —
+use it for wall-clock numbers whose noise floor exceeds any sensible
+tolerance on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+SCHEMA = 1
+
+#: canonical trajectory file name (committed baseline at the repo root,
+#: freshly generated copies under ``benchmarks/out/``)
+TRAJECTORY_NAME = "BENCH_scaling.json"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One named scalar metric in a trajectory."""
+
+    value: float
+    unit: str = "us"
+    higher_is_better: bool = False
+    #: participate in the regression gate (turn off for wall-clock noise)
+    gate: bool = True
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A gated cell that moved the wrong way beyond tolerance."""
+
+    name: str
+    baseline: float
+    current: float
+    ratio: float  # current/baseline for lower-is-better, inverted otherwise
+
+    def format(self) -> str:
+        return (f"{self.name}: {self.baseline:g} -> {self.current:g} "
+                f"({(self.ratio - 1.0) * 100.0:+.1f}%)")
+
+
+def load(path: str) -> dict[str, Cell]:
+    """Read a trajectory file into ``{name: Cell}`` (empty if absent)."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported trajectory schema {doc.get('schema')!r}")
+    cells: dict[str, Cell] = {}
+    for name, raw in doc.get("cells", {}).items():
+        cells[name] = Cell(
+            value=float(raw["value"]),
+            unit=str(raw.get("unit", "us")),
+            higher_is_better=bool(raw.get("higher_is_better", False)),
+            gate=bool(raw.get("gate", True)),
+            meta=dict(raw.get("meta", {})),
+        )
+    return cells
+
+
+def _dump(path: str, cells: dict[str, Cell]) -> None:
+    doc = {"schema": SCHEMA,
+           "cells": {name: asdict(cells[name]) for name in sorted(cells)}}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def record_cell(path: str, name: str, value: float, *, unit: str = "us",
+                higher_is_better: bool = False, gate: bool = True,
+                meta: dict[str, Any] | None = None) -> Cell:
+    """Insert or overwrite one cell in the trajectory at ``path``.
+
+    Read-modify-write, so benches in one session accumulate into a single
+    file regardless of execution order.
+    """
+    cells = load(path)
+    cell = Cell(value=float(value), unit=unit,
+                higher_is_better=higher_is_better, gate=gate,
+                meta=dict(meta or {}))
+    cells[name] = cell
+    _dump(path, cells)
+    return cell
+
+
+def compare(baseline: dict[str, Cell], current: dict[str, Cell],
+            tolerance: float = 0.20) -> list[Regression]:
+    """Gated cells present in both trajectories that regressed > tolerance.
+
+    For lower-is-better cells a regression is ``current > baseline *
+    (1 + tolerance)``; for higher-is-better, ``current < baseline *
+    (1 - tolerance)``.  Cells missing from either side are ignored (new
+    benches and retired benches both happen; the gate judges overlap).
+    """
+    out: list[Regression] = []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        if not (base.gate and cur.gate):
+            continue
+        if base.value == 0:
+            continue
+        if base.higher_is_better:
+            ratio = base.value / cur.value if cur.value else float("inf")
+        else:
+            ratio = cur.value / base.value
+        if ratio > 1.0 + tolerance:
+            out.append(Regression(name=name, baseline=base.value,
+                                  current=cur.value, ratio=ratio))
+    return out
+
+
+def format_report(baseline: dict[str, Cell], current: dict[str, Cell],
+                  regressions: list[Regression]) -> str:
+    shared = sorted(set(baseline) & set(current))
+    lines = [f"trajectory: {len(shared)} shared cell(s), "
+             f"{len(regressions)} regression(s)"]
+    bad = {r.name for r in regressions}
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        mark = "REGRESSED" if name in bad else (
+            "ungated" if not (base.gate and cur.gate) else "ok")
+        lines.append(f"  {name}: {base.value:g} -> {cur.value:g} "
+                     f"{cur.unit} [{mark}]")
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    if only_base:
+        lines.append(f"  (baseline-only cells skipped: {', '.join(only_base)})")
+    if only_cur:
+        lines.append(f"  (new cells not yet in baseline: {', '.join(only_cur)})")
+    return "\n".join(lines)

@@ -42,8 +42,10 @@ class ScmdResult:
     event_summaries: list[dict[str, dict[str, float]]]
     #: per-rank hardware counter values
     counter_values: list[dict[str, int]]
-    #: the simulated world (per-rank MPI accounting lives here)
-    world: SimWorld | None = None
+    #: the simulated world — a :class:`SimWorld` (thread backend) or a
+    #: :class:`~repro.mpi.backend.WorldView` (process backends); either
+    #: way, per-rank MPI accounting/obs/sanitizer findings live here
+    world: SimWorld | Any | None = None
     #: optional per-rank extra payloads filled by compose/go
     extras: list[Any] = field(default_factory=list)
 
@@ -63,6 +65,8 @@ def run_scmd(
     resilience=None,
     observe=None,
     sanitize=None,
+    backend: str = "thread",
+    collectives: str | None = None,
 ) -> ScmdResult:
     """Run a component application on ``nranks`` simulated processors.
 
@@ -102,6 +106,15 @@ def run_scmd(
         and ghost-race detection); findings land on
         ``ScmdResult.world.sanitizer.findings``.  None (default) checks
         nothing.
+    backend:
+        Communicator backend name (:mod:`repro.mpi.backend`): ``"thread"``
+        (default) runs ranks as threads, ``"mp-shm"`` as real processes
+        over shared-memory rings — same modeled results, real parallelism.
+    collectives:
+        Collective-algorithm family: None keeps the legacy rendezvous cost
+        model, ``"flat"`` charges its honest linear-in-P cost, ``"hier"``
+        uses tree algorithms (binomial/recursive-doubling/ring) in both
+        data movement and modeled cost.
     """
     injector = None
     if fault_plan is not None:
@@ -110,7 +123,8 @@ def run_scmd(
     runner = ParallelRunner(nranks, network=network, seed=seed,
                             timeout_s=timeout_s, injector=injector,
                             policy=resilience, obs_config=observe,
-                            sanitize=sanitize)
+                            sanitize=sanitize, backend=backend,
+                            collectives=collectives)
 
     def rank_main(comm) -> tuple[Any, dict, dict, dict, Any]:
         obs = comm.obs

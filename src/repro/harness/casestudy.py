@@ -78,6 +78,11 @@ class CaseStudyConfig:
     #: runtime MPI sanitizers (a repro.analysis SanitizerConfig); None
     #: checks nothing
     sanitize: Any = None
+    #: communicator backend: "thread" (default, deterministic in-process)
+    #: or "mp-shm" (one forked process per rank over shared-memory rings)
+    backend: str = "thread"
+    #: collective-algorithm family (None legacy, "flat", "hier")
+    collectives: str | None = None
 
 
 @dataclass
@@ -243,4 +248,6 @@ def run_case_study(config: CaseStudyConfig | None = None) -> ScmdResult:
         resilience=config.resilience,
         observe=config.observe,
         sanitize=config.sanitize,
+        backend=config.backend,
+        collectives=config.collectives,
     )

@@ -25,7 +25,9 @@ from repro.mpi.message import ANY_SOURCE, ANY_TAG, Status
 from repro.mpi.request import Request, waitall, waitany, waitsome
 from repro.mpi.world import SimWorld, SimMPIError
 from repro.mpi.comm import SimComm
-from repro.mpi.runner import ParallelRunner, RankFailure
+from repro.mpi.backend import (BACKEND_NAMES, CommBackend, JobSpec,
+                               WorldView, create_backend)
+from repro.mpi.runner import ParallelRunner, RankFailure, create_world
 
 __all__ = [
     "NetworkModel",
@@ -42,4 +44,10 @@ __all__ = [
     "SimComm",
     "ParallelRunner",
     "RankFailure",
+    "BACKEND_NAMES",
+    "CommBackend",
+    "JobSpec",
+    "WorldView",
+    "create_backend",
+    "create_world",
 ]

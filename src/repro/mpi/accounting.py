@@ -33,6 +33,23 @@ class MPIAccounting:
         self._stats: dict[str, RoutineStats] = {}
         self._listeners: list = []
 
+    def __getstate__(self) -> dict:
+        """Pickle the ledger contents only.
+
+        The lock is process-local and listeners are runtime wiring (the TAU
+        component subscribes a bound method); both are dropped so a worker
+        process can ship its finished ledger back to the launcher.
+        """
+        with self._lock:
+            return {"stats": {k: (v.total_us, v.calls)
+                              for k, v in self._stats.items()}}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._stats = {k: RoutineStats(total_us=t, calls=c)
+                       for k, (t, c) in state["stats"].items()}
+        self._listeners = []
+
     def record(self, routine: str, cost_us: float) -> None:
         """Charge ``cost_us`` to ``routine`` (one call)."""
         if cost_us < 0:

@@ -12,6 +12,7 @@ Figure 3 profile and the ghost-cell timings of Figure 9.
 from __future__ import annotations
 
 import copy
+import time as _time
 from contextlib import nullcontext
 from typing import Any, Callable, ContextManager, Sequence
 
@@ -20,6 +21,7 @@ import numpy as np
 from repro.faults.plan import DROP as FAULT_DROP
 from repro.faults.plan import DUPLICATE as FAULT_DUPLICATE
 from repro.faults.policy import CommFailure
+from repro.mpi import collectives as coll
 from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope, Status
 from repro.mpi.network import payload_nbytes
 from repro.mpi.request import RecvRequest, Request, SendRequest
@@ -43,6 +45,18 @@ def _copy_payload(obj: Any) -> Any:
     if obj is None or isinstance(obj, (int, float, complex, str, bytes, bool)):
         return obj
     return copy.deepcopy(obj)
+
+
+#: MPI routine -> hierarchical algorithm used when ``collectives="hier"``
+#: (everything else keeps the rendezvous movement with the tree cost model)
+HIER_ALGORITHMS = {
+    "MPI_Barrier": "tree",
+    "MPI_Bcast": "tree",
+    "MPI_Reduce": "tree",
+    "MPI_Allreduce": "rdbl",
+    "MPI_Gather": "tree",
+    "MPI_Allgather": "ring",
+}
 
 
 class SimComm:
@@ -242,7 +256,28 @@ class SimComm:
                 f"context={self.context!r}) after {policy.max_attempts} retry "
                 "round(s); a matching message was unrecoverably dropped"
             )
-        return world.match(self.context, self.rank, source, tag)
+        # Healthy but slow: fall back to the deadlock-timeout-bounded wait,
+        # still recovering opportunistically — process backends deliver drop
+        # records asynchronously, so a recoverable drop can land in the
+        # stash after the counted rounds ran dry (on the thread backend the
+        # stash is already empty here and recovery never fires).
+        deadline = _time.monotonic() + world.timeout_s
+        while True:
+            env = world.match_timeout(self.context, self.rank, source, tag,
+                                      min(0.5, world.timeout_s))
+            if env is not None:
+                return env
+            recovered = world.recover_dropped(self.context, self.rank,
+                                              source, tag)
+            if recovered:
+                self.charge("MPI_Retransmit",
+                            recovered * policy.retransmit_cost_us)
+            if _time.monotonic() >= deadline:
+                raise SimMPIError(
+                    f"rank {self.rank} timed out after {world.timeout_s}s "
+                    f"waiting for message (source={source}, tag={tag}, "
+                    f"context={self.context!r}) — likely deadlock"
+                )
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send: copy, deliver, charge injection cost."""
@@ -328,9 +363,48 @@ class SimComm:
             return env.payload
 
     # ------------------------------------------------------- collectives
-    def _exchange(self, value: Any, routine: str | None = None) -> list[Any]:
+    def _next_coll_seq(self) -> int:
+        """Advance the per-communicator collective call counter.
+
+        Consumed by both the rendezvous and the hierarchical paths so the
+        (context, seq) identity of the n-th collective is algorithm- and
+        backend-independent.
+        """
         seq = self._coll_seq
         self._coll_seq += 1
+        return seq
+
+    def _use_hier(self, routine: str) -> bool:
+        return (self.world.collectives == "hier" and self.size > 1
+                and routine in HIER_ALGORITHMS)
+
+    def _hier_collective(self, routine: str, seq: int, movement) -> Any:
+        """One tree-structured collective: sanitizer token exchange, the
+        algorithm's data movement, and the shared flow event.
+
+        ``movement(world, ctx, base_tag)`` performs the transfer;
+        each collective owns the 64-tag block ``[seq*64, seq*64+63)`` of
+        the reserved transport context (data movement uses the low tags,
+        the token exchange tag 48), so stages never collide.
+        """
+        world = self.world
+        ctx = coll.coll_context(self.context)
+        base = seq << 6
+        with self._span_ctx(routine, CAT_MPI_WAIT, coll_seq=seq) as sp:
+            san = self._san
+            if san is not None and san.config.collective_order:
+                token = san.collective_token(self.rank, self.context, seq,
+                                             routine)
+                tokens = coll.tree_allgather(world, ctx, self.rank,
+                                             self.size, base + 48, token)
+                san.collective_check(self.rank, self.context, seq, tokens)
+            out = movement(world, ctx, base)
+            if self._obs is not None:
+                self._obs.tracer.flow_collective(f"c:{self.context}:{seq}", sp)
+        return out
+
+    def _exchange(self, value: Any, routine: str | None = None) -> list[Any]:
+        seq = self._next_coll_seq()
         routine = routine or "MPI_Exchange"
         san = self._san
         check_order = san is not None and san.config.collective_order
@@ -358,18 +432,54 @@ class SimComm:
                 self._obs.tracer.flow_collective(f"c:{self.context}:{seq}", sp)
         return vals
 
-    def _charge_collective(self, routine: str, nbytes: int) -> None:
-        cost = self.world.network.collective_cost(nbytes, self.size, self.rng)
+    def _charge_collective(self, routine: str, nbytes: int,
+                           algo: str = "tree") -> None:
+        """Charge one collective's modeled cost under its routine name.
+
+        The formula follows the selected algorithm family: the default
+        (``collectives=None``) keeps the legacy generic log-tree model
+        bit-for-bit; ``"flat"`` charges the rendezvous its honest
+        linear-in-P cost; ``"hier"`` charges the specific algorithm
+        (binomial/recursive-doubling trees, or the ring for allgather).
+        Exactly one jitter draw is consumed per collective in every mode,
+        so per-rank RNG streams stay aligned across algorithm choices.
+        """
+        net = self.world.network
+        mode = self.world.collectives
+        if mode is None or self.size <= 1:
+            cost = net.collective_cost(nbytes, self.size, self.rng)
+        elif mode == "flat":
+            cost = net.flat_collective_cost(nbytes, self.size, self.rng)
+        elif algo == "ring":
+            cost = net.ring_collective_cost(nbytes, self.size, self.rng)
+        else:
+            cost = net.tree_collective_cost(nbytes, self.size, self.rng)
         self.charge(routine, cost)
 
     def barrier(self) -> None:
-        """Synchronize all ranks (charged a log2(P) latency tree)."""
-        self._exchange(None, "MPI_Barrier")
+        """Synchronize all ranks."""
+        if self._use_hier("MPI_Barrier"):
+            seq = self._next_coll_seq()
+            self._hier_collective(
+                "MPI_Barrier", seq,
+                lambda w, ctx, base: coll.tree_allgather(
+                    w, ctx, self.rank, self.size, base, None))
+        else:
+            self._exchange(None, "MPI_Barrier")
         self._charge_collective("MPI_Barrier", 0)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
         self._check_root(root)
+        if self._use_hier("MPI_Bcast"):
+            seq = self._next_coll_seq()
+            result = self._hier_collective(
+                "MPI_Bcast", seq,
+                lambda w, ctx, base: coll.binomial_bcast(
+                    w, ctx, self.rank, self.size, base,
+                    obj if self.rank == root else None, root))
+            self._charge_collective("MPI_Bcast", payload_nbytes(result))
+            return result if self.rank != root else obj
         vals = self._exchange(_copy_payload(obj) if self.rank == root else None,
                               "MPI_Bcast")
         result = vals[root]
@@ -379,12 +489,30 @@ class SimComm:
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank at ``root`` (None elsewhere)."""
         self._check_root(root)
+        if self._use_hier("MPI_Gather"):
+            seq = self._next_coll_seq()
+            acc = self._hier_collective(
+                "MPI_Gather", seq,
+                lambda w, ctx, base: coll.binomial_gather(
+                    w, ctx, self.rank, self.size, base, obj, root))
+            self._charge_collective("MPI_Gather", payload_nbytes(obj))
+            return ([acc[r] for r in range(self.size)]
+                    if self.rank == root else None)
         vals = self._exchange(_copy_payload(obj), "MPI_Gather")
         self._charge_collective("MPI_Gather", payload_nbytes(obj))
         return vals if self.rank == root else None
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one value per rank, everywhere."""
+        if self._use_hier("MPI_Allgather"):
+            seq = self._next_coll_seq()
+            vals = self._hier_collective(
+                "MPI_Allgather", seq,
+                lambda w, ctx, base: coll.ring_allgather(
+                    w, ctx, self.rank, self.size, base, obj))
+            self._charge_collective("MPI_Allgather", payload_nbytes(obj),
+                                    algo="ring")
+            return vals
         vals = self._exchange(_copy_payload(obj), "MPI_Allgather")
         self._charge_collective("MPI_Allgather", payload_nbytes(obj))
         return vals
@@ -421,12 +549,32 @@ class SimComm:
                root: int = 0) -> Any | None:
         """Reduce to ``root`` (None elsewhere)."""
         self._check_root(root)
+        if self._use_hier("MPI_Reduce"):
+            seq = self._next_coll_seq()
+            acc = self._hier_collective(
+                "MPI_Reduce", seq,
+                lambda w, ctx, base: coll.binomial_gather(
+                    w, ctx, self.rank, self.size, base, obj, root))
+            self._charge_collective("MPI_Reduce", payload_nbytes(obj))
+            if self.rank != root:
+                return None
+            # Combine in rank order: identical floating-point association
+            # to the rendezvous path, so results match bit-for-bit.
+            return self._reduce_values([acc[r] for r in range(self.size)], op)
         vals = self._exchange(_copy_payload(obj), "MPI_Reduce")
         self._charge_collective("MPI_Reduce", payload_nbytes(obj))
         return self._reduce_values(vals, op) if self.rank == root else None
 
     def allreduce(self, obj: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
         """Reduce across all ranks; every rank returns the result."""
+        if self._use_hier("MPI_Allreduce"):
+            seq = self._next_coll_seq()
+            vals = self._hier_collective(
+                "MPI_Allreduce", seq,
+                lambda w, ctx, base: coll.recursive_doubling_allgather(
+                    w, ctx, self.rank, self.size, base, obj))
+            self._charge_collective("MPI_Allreduce", payload_nbytes(obj))
+            return self._reduce_values(vals, op)
         vals = self._exchange(_copy_payload(obj), "MPI_Allreduce")
         self._charge_collective("MPI_Allreduce", payload_nbytes(obj))
         return self._reduce_values(vals, op)

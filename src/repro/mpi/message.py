@@ -9,7 +9,41 @@ from typing import Any
 ANY_SOURCE: int = -1
 ANY_TAG: int = -1
 
+#: Sequence numbers must be unique across every rank of a job: they key
+#: receiver-side duplicate suppression and the cross-rank flow edges of the
+#: span tracer.  With thread-backed ranks one process-wide counter suffices;
+#: with process-backed ranks (the ``mp-shm`` backend) each rank process
+#: inherits a *copy* of this module at fork/spawn, so the counter would be
+#: silently duplicated and ranks would collide.  :func:`rebase_seqno` moves
+#: a worker process onto a disjoint per-rank range before any send happens.
+_SEQ_RANK_SHIFT = 44
+
 _seqno = itertools.count()
+
+
+def rebase_seqno(rank: int) -> None:
+    """Re-base this process's send-sequence counter onto ``rank``'s range.
+
+    Called once at worker startup by process-backed communicator backends;
+    rank r draws from ``[(r+1) << 44, ...)``, disjoint from every other
+    rank and from the parent process's unshifted range.
+    """
+    global _seqno
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    _seqno = itertools.count((rank + 1) << _SEQ_RANK_SHIFT)
+
+
+def copy_payload(obj: Any) -> Any:
+    """Value-semantics copy of a message payload (MPI buffered-send copy)."""
+    import copy
+
+    import numpy as np
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if obj is None or isinstance(obj, (int, float, complex, str, bytes, bool)):
+        return obj
+    return copy.deepcopy(obj)
 
 
 @dataclass

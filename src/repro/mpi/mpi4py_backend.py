@@ -1,0 +1,50 @@
+"""``mpi4py`` backend: map the simulator API onto a real MPI library.
+
+This adapter is import-gated: the study's container images ship without an
+MPI stack, so the backend exists as a named, documented extension point
+that fails with an actionable message instead of an ImportError deep in a
+launch.  When ``mpi4py`` *is* available the adapter still refuses to
+launch from a single Python process — real MPI jobs are started by
+``mpiexec``, which inverts the control flow of :func:`ParallelRunner.run`
+(the launcher does not own the ranks).  The supported shape is::
+
+    mpiexec -n 16 python my_study.py   # each process calls attach()
+
+where :func:`attach` wraps ``MPI.COMM_WORLD`` with the accounting /
+observability adapters.  That wrapping work is tracked in ROADMAP.md; the
+class below is the registry hook plus the capability probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpi.backend import BackendRun, CommBackend, JobSpec
+
+
+def mpi4py_available() -> bool:
+    """Can ``mpi4py`` be imported in this environment?"""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class Mpi4pyBackend(CommBackend):
+    """Registry entry for real-MPI execution (capability-gated)."""
+
+    name = "mpi4py"
+
+    def launch(self, spec: JobSpec, fn: Callable[..., Any],
+               args: tuple, kwargs: dict) -> BackendRun:
+        if not mpi4py_available():
+            raise RuntimeError(
+                "backend='mpi4py' requires the mpi4py package and an MPI "
+                "runtime, neither of which is installed in this environment; "
+                "use backend='thread' (deterministic, default) or "
+                "backend='mp-shm' (process-parallel) instead")
+        raise NotImplementedError(
+            "backend='mpi4py' cannot be launched from a single process: "
+            "start the job under mpiexec and wrap MPI.COMM_WORLD directly "
+            "(see repro.mpi.mpi4py_backend module docs)")

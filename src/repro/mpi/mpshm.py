@@ -1,0 +1,478 @@
+"""``mp-shm`` backend: rank processes over shared-memory rings.
+
+The thread backend runs every rank inside one Python process, which means
+one GIL: compute-bound cells serialize and the "scaling" study measures
+modeled time only.  This backend forks one OS process per rank so compute
+really runs in parallel, while keeping the *model* bit-for-bit: each
+worker instantiates the same :class:`~repro.mpi.world.SimWorld` (full-size
+per-rank RNG streams, ledgers, observability) and executes only its own
+rank, so every jitter draw, modeled charge and fault-injection decision
+happens in the same per-rank program order as on the thread backend.
+
+Wire protocol
+-------------
+Each rank owns one :class:`~repro.mpi.shm.ShmRing`; any peer writes frames
+into the destination's ring and a per-worker receiver thread drains its
+own ring into the local world's mailboxes.  A frame is one byte of frame
+kind, then:
+
+* ``pickle`` frames — ``(kind, context, recoverable, envelope-fields,
+  payload)`` pickled whole;
+* ``ndarray`` frames — pickled metadata (dtype/shape + envelope fields)
+  followed by the raw array bytes, skipping pickle for the bulk data;
+* ``stop`` frames — end-of-job marker a worker writes into its *own* ring
+  after the final barrier, releasing the receiver thread.
+
+Collectives: the rendezvous-slot exchange of the thread world cannot span
+processes, so :meth:`ShmWorld.exchange` reuses the tree machinery of
+:mod:`repro.mpi.collectives` (binomial gather + broadcast over transport
+frames).  Sanitizer tokens piggyback through the exchanged values exactly
+as on the thread backend.  The bounded-retry semantics of
+``exchange_resilient`` degrade to the plain deadlock-timeout-bounded tree
+(documented limitation; p2p bounded retry/recovery is unaffected because
+drop/tombstone frames are routed to the destination's local stores).
+
+Failure handling: any rank's exception raises the shared abort flag; every
+blocked ring operation and every mailbox wait then raises, workers ship
+their tracebacks to the launcher, and the launcher raises
+:class:`~repro.mpi.runner.RankFailure` exactly like the thread backend.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import time
+import traceback
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.analysis.sanitize import Sanitizer, _WaitState
+from repro.mpi import collectives as coll
+from repro.mpi.backend import (BackendRun, CommBackend, JobSpec,
+                               SanitizerView, WorldView)
+from repro.mpi.message import Envelope, rebase_seqno
+from repro.mpi.shm import (WAIT_TABLE_MAX_RANKS, RingAborted, ShmFlag,
+                           ShmRing, ShmWaitTable)
+from repro.mpi.world import SimWorld
+
+_F_PICKLE = 0
+_F_NDARRAY = 1
+_F_STOP = 2
+
+_KIND_DELIVER = 0
+_KIND_DROP_RECOVERABLE = 1
+_KIND_DROP_TOMBSTONE = 2
+
+#: default per-rank ring capacity; a frame may exceed it (writers stream),
+#: it only bounds how far a sender can run ahead of a slow receiver
+DEFAULT_RING_BYTES = 1 << 20
+
+_STOP_FRAME = bytes([_F_STOP])
+
+
+def encode_frame(kind: int, context: str, env: Envelope,
+                 recoverable: bool = True) -> bytes:
+    """Serialize one envelope for the wire (NumPy fast path + pickle)."""
+    fields = (kind, context, recoverable, env.source, env.dest, env.tag,
+              env.nbytes, env.cost_us, env.seq, env.trace_ctx)
+    payload = env.payload
+    if (isinstance(payload, np.ndarray) and payload.dtype != object
+            and not payload.dtype.hasobject):
+        arr = np.ascontiguousarray(payload)
+        meta = pickle.dumps((fields, arr.dtype.str, arr.shape),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        return b"".join((bytes([_F_NDARRAY]), struct.pack("<I", len(meta)),
+                         meta, arr.tobytes()))
+    blob = pickle.dumps((fields, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    return bytes([_F_PICKLE]) + blob
+
+
+def decode_frame(frame: bytes) -> tuple[int, str, bool, Envelope] | None:
+    """Inverse of :func:`encode_frame`; None for the stop marker."""
+    ftype = frame[0]
+    if ftype == _F_STOP:
+        return None
+    if ftype == _F_NDARRAY:
+        (mlen,) = struct.unpack_from("<I", frame, 1)
+        fields, dtype, shape = pickle.loads(frame[5:5 + mlen])
+        payload: Any = np.frombuffer(
+            frame, dtype=np.dtype(dtype), offset=5 + mlen).reshape(shape).copy()
+    else:
+        fields, payload = pickle.loads(frame[1:])
+    kind, context, recoverable, source, dest, tag, nbytes, cost_us, seq, tctx = fields
+    env = Envelope(source=source, dest=dest, tag=tag, payload=payload,
+                   nbytes=nbytes, cost_us=cost_us, seq=seq, trace_ctx=tctx)
+    return kind, context, recoverable, env
+
+
+class SharedSanitizer(Sanitizer):
+    """Sanitizer whose deadlock state lives in a shared wait table.
+
+    Collective-order and p2p checks are per-rank local (each worker only
+    issues operations for its own rank); only the wait-for graph needs the
+    whole job, so exactly those methods mirror into the
+    :class:`~repro.mpi.shm.ShmWaitTable`.
+    """
+
+    def __init__(self, nranks: int, config, obs, table: ShmWaitTable | None,
+                 rings: list[ShmRing]) -> None:
+        super().__init__(nranks, config, obs=obs)
+        self._table = table
+        self._rings = rings
+
+    def notify_progress(self, rank: int) -> None:
+        if self._table is not None:
+            self._table.bump(rank)
+
+    def notify_progress_all(self) -> None:
+        if self._table is not None:
+            self._table.bump_all()
+
+    def enter_wait(self, rank, op, detail, waits_on) -> None:
+        if self._table is not None:
+            self._table.enter_wait(
+                rank, op, detail, frozenset(waits_on) - {rank})
+
+    def exit_wait(self, rank: int) -> None:
+        if self._table is not None:
+            self._table.exit_wait(rank)
+
+    def _deadlock_snapshot(self):
+        if self._table is None:
+            return [None] * self.nranks, [0] * self.nranks
+        raw_waits, gens = self._table.snapshot()
+        waits = [
+            None if w is None else _WaitState(
+                op=w[0], detail=w[1], waits_on=w[2], gen=w[3])
+            for w in raw_waits
+        ]
+        for r in range(self.nranks):
+            if self._rings[r].undeposited():
+                # A frame is in flight to r — still in the ring, or drained
+                # but not yet deposited by r's receiver thread (which may be
+                # blocked on r's mailbox lock, held by the very rank running
+                # this check through its detection sleep).  Either way r
+                # will make progress, so its registered wait must read as
+                # stale.
+                gens[r] += 1
+        return waits, gens
+
+    def check_deadlock(self, rank: int) -> None:
+        """Two-phase deadlock check for the cross-process wait graph.
+
+        Unlike the thread backend — where delivery is synchronous with the
+        send, so a registered wait with an unbumped generation really is
+        stuck — a process backend has a window between a frame being
+        published and the receiver thread depositing it into the mailbox.
+        A snapshot taken inside that window would report a phantom cycle,
+        so :meth:`_deadlock_snapshot` treats any rank with undeposited ring
+        bytes as having made progress.  That accounting matters most for
+        the checking rank itself: it holds its own mailbox lock throughout
+        (including the sleep below), so its receiver thread cannot deposit
+        — or bump a generation — until the check is over.  On top of that,
+        when a snapshot implicates this rank, sleep long enough for any
+        rank whose mailbox already holds a message to wake from its poll,
+        then require a second snapshot to show the identical stuck set
+        with unchanged generations before raising.
+        """
+        if not self.config.deadlock or self._table is None:
+            return
+        waits, gens = self._deadlock_snapshot()
+        stuck = self._stuck_set(waits, gens)
+        if rank not in stuck:
+            return
+        time.sleep(max(0.1, 2.0 * self.config.deadlock_poll_s))
+        waits2, gens2 = self._deadlock_snapshot()
+        if any(gens2[r] != gens[r] for r in stuck):
+            return
+        stuck2 = self._stuck_set(waits2, gens2)
+        if rank not in stuck2:
+            return
+        self._raise_deadlock(rank, waits2, stuck2)
+
+
+class ShmWorld(SimWorld):
+    """A :class:`SimWorld` whose remote ranks live in other processes.
+
+    Exactly four behaviours change relative to the base class:
+
+    * :meth:`deliver` / :meth:`stash_dropped` route envelopes addressed to
+      remote ranks through the destination's ring;
+    * :meth:`exchange` / :meth:`exchange_resilient` replace the
+      shared-slot rendezvous with tree transport;
+    * :meth:`abort` raises the cross-process abort flag;
+    * the sanitizer (when on) is the shared-wait-table variant.
+
+    Everything else — matching, dedup, recovery stores, accounting, RNG
+    streams — is the base class operating on this process's local state.
+    """
+
+    def __init__(self, spec: JobSpec, myrank: int, rings: list[ShmRing],
+                 abort_flag: ShmFlag, wait_table: ShmWaitTable | None) -> None:
+        super().__init__(
+            spec.nranks, network=spec.network, seed=spec.seed,
+            timeout_s=spec.timeout_s, injector=spec.injector,
+            policy=spec.policy, obs_config=spec.obs_config,
+            sanitize=None, collectives=spec.collectives)
+        # Swap in the cross-process sanitizer (the base class built none).
+        if spec.sanitize is not None:
+            self.sanitizer = SharedSanitizer(
+                spec.nranks, spec.sanitize, self.obs, wait_table, rings)
+        self.myrank = int(myrank)
+        self._rings = rings
+        self._abort_flag = abort_flag
+        self._receiver: threading.Thread | None = None
+
+    # ------------------------------------------------------------ routing
+    def _send_frame(self, dest: int, frame: bytes) -> None:
+        try:
+            self._rings[dest].send(frame, self._abort_flag)
+        except RingAborted:
+            self._check_abort()
+            raise
+
+    def deliver(self, context: str, env: Envelope) -> None:
+        if env.dest == self.myrank:
+            super().deliver(context, env)
+            return
+        if not (0 <= env.dest < self.nranks):
+            raise ValueError(
+                f"invalid destination rank {env.dest} (nranks={self.nranks})")
+        self._send_frame(env.dest, encode_frame(_KIND_DELIVER, context, env))
+
+    def stash_dropped(self, context: str, env: Envelope, recoverable: bool) -> None:
+        """Injected drops live in the *destination's* local stores so the
+        receiver-side bounded-retry/recovery logic runs unchanged."""
+        if env.dest == self.myrank:
+            super().stash_dropped(context, env, recoverable)
+            return
+        kind = _KIND_DROP_RECOVERABLE if recoverable else _KIND_DROP_TOMBSTONE
+        self._send_frame(env.dest, encode_frame(kind, context, env, recoverable))
+
+    # --------------------------------------------------------- collectives
+    def exchange(self, context: str, seq: int, rank: int, value: Any,
+                 routine: str = "MPI_Exchange") -> list[Any]:
+        ctx = "__xchg__:" + context
+        # Stride 4: tree_allgather consumes two tags per call.
+        return coll.tree_allgather(
+            self, ctx, self.myrank, self.nranks, seq * 4, value)
+
+    def exchange_resilient(self, context: str, seq: int, rank: int, value: Any,
+                           policy, routine: str = "MPI_Exchange") -> list[Any]:
+        # Documented limitation: across processes the rendezvous is a tree
+        # of point-to-point transfers bounded by the deadlock timeout; the
+        # per-round bounded-retry accounting of the thread backend does not
+        # apply (p2p retry/recovery is unaffected).
+        return self.exchange(context, seq, rank, value, routine=routine)
+
+    # -------------------------------------------------------------- abort
+    def abort(self, reason: str) -> None:
+        self._abort_flag.set()
+        super().abort(reason)
+
+    # ----------------------------------------------------------- receiver
+    def start_receiver(self) -> None:
+        t = threading.Thread(target=self._receive_loop,
+                             name=f"shm-recv-{self.myrank}", daemon=True)
+        self._receiver = t
+        t.start()
+
+    def _receive_loop(self) -> None:
+        ring = self._rings[self.myrank]
+        while True:
+            try:
+                frame = ring.recv(self._abort_flag)
+            except RingAborted:
+                # Wake local waiters; the failing rank ships the real cause.
+                super().abort("peer rank failed (shared abort flag raised)")
+                return
+            decoded = decode_frame(frame)
+            if decoded is None:  # stop marker
+                ring.mark_deposited()
+                return
+            kind, context, recoverable, env = decoded
+            if kind == _KIND_DELIVER:
+                SimWorld.deliver(self, context, env)
+            else:
+                SimWorld.stash_dropped(self, context, env, recoverable)
+            # Only now has the frame truly landed: between ring.recv() and
+            # here it was in no ring and no mailbox, and the deadlock
+            # detector must still count it as in flight (undeposited()).
+            ring.mark_deposited()
+
+    def shutdown_receiver(self) -> None:
+        """Unblock and join the receiver (call after the final barrier)."""
+        t = self._receiver
+        if t is None:
+            return
+        self._receiver = None
+        try:
+            self._rings[self.myrank].send(_STOP_FRAME, self._abort_flag)
+        except RingAborted:
+            # Aborted with a full ring: the receiver is exiting (or gone)
+            # via the abort flag anyway.
+            pass
+        t.join(timeout=self.timeout_s)
+
+
+#: transport context for the end-of-job barrier (never collides with user
+#: contexts, which are namespaced under "world")
+_FINAL_CONTEXT = "__final__"
+
+
+def _worker_main(rank: int, spec: JobSpec, rings: list[ShmRing],
+                 abort_flag: ShmFlag, wait_table: ShmWaitTable | None,
+                 conn, fn: Callable[..., Any], args: tuple, kwargs: dict) -> None:
+    """Body of one rank process (entered via fork)."""
+    rebase_seqno(rank)
+    world = ShmWorld(spec, rank, rings, abort_flag, wait_table)
+    world.start_receiver()
+    from repro.mpi.comm import SimComm
+
+    payload: tuple
+    try:
+        result = fn(SimComm(world, rank), *args, **kwargs)
+        # Final barrier: after it, no peer will write to our ring again
+        # (every pre-barrier send completed before its sender entered),
+        # so the receiver can be stopped and the mailboxes are complete.
+        coll.tree_allgather(world, _FINAL_CONTEXT, rank, spec.nranks, 0, None)
+        world.shutdown_receiver()
+        if world.sanitizer is not None:
+            world.sanitizer.finalize(world)
+        inj = world.injector
+        payload = ("ok", result, {
+            "accounting": world.accounting[rank],
+            "obs": world.obs[rank] if world.obs is not None else None,
+            "resilience": world.resilience[rank],
+            "findings": (list(world.sanitizer.findings)
+                         if world.sanitizer is not None else []),
+            "fault_counts": inj.counts[rank] if inj is not None else None,
+            "fault_tracer": inj.tracers[rank] if inj is not None else None,
+        })
+    except BaseException:  # ra: noqa[RA005] — rank isolation barrier
+        world.abort(f"rank {rank} raised")
+        world.shutdown_receiver()
+        payload = ("err", traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception:
+        conn.send(("err",
+                   f"rank {rank}: result not transferable:\n"
+                   + traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class MpShmBackend(CommBackend):
+    """One forked process per rank, wired through shared-memory rings."""
+
+    name = "mp-shm"
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        self.ring_bytes = int(ring_bytes)
+
+    def launch(self, spec: JobSpec, fn: Callable[..., Any],
+               args: tuple, kwargs: dict) -> BackendRun:
+        import multiprocessing as mp
+
+        from repro.mpi.runner import RankFailure
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise RuntimeError(
+                "the mp-shm backend requires the 'fork' start method "
+                "(POSIX); use backend='thread' on this platform") from exc
+
+        n = spec.nranks
+        rings = [ShmRing(self.ring_bytes, ctx) for _ in range(n)]
+        abort_flag = ShmFlag()
+        wait_table = None
+        if (spec.sanitize is not None and spec.sanitize.deadlock
+                and n <= WAIT_TABLE_MAX_RANKS):
+            wait_table = ShmWaitTable(n, ctx)
+        pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(r, spec, rings, abort_flag, wait_table,
+                      pipes[r][1], fn, args, kwargs),
+                name=f"simmpi-rank-{r}", daemon=True)
+            for r in range(n)
+        ]
+        try:
+            for p in procs:
+                p.start()
+            for _, w in pipes:
+                w.close()  # parent keeps only the read ends
+            outcomes: list[tuple | None] = [None] * n
+            for r, (reader, _) in enumerate(pipes):
+                if reader.poll(spec.timeout_s + 30.0):
+                    try:
+                        outcomes[r] = reader.recv()
+                    except EOFError:
+                        outcomes[r] = None
+            for p in procs:
+                p.join(timeout=10.0)
+            stuck = [p.name for p in procs if p.is_alive()]
+            if stuck:
+                abort_flag.set()
+                for p in procs:
+                    if p.is_alive():  # pragma: no cover - hard-kill path
+                        p.terminate()
+                        p.join(timeout=5.0)
+        finally:
+            for ring in rings:
+                ring.close()
+                ring.unlink()
+            abort_flag.close()
+            abort_flag.unlink()
+            if wait_table is not None:
+                wait_table.close()
+                wait_table.unlink()
+
+        failures = {
+            r: out[1] for r, out in enumerate(outcomes)
+            if out is not None and out[0] == "err"
+        }
+        dead = [r for r, out in enumerate(outcomes) if out is None]
+        if dead and not failures:
+            failures = {r: "rank process died without reporting a result"
+                        for r in dead}
+        if failures:
+            primary = {
+                r: tb for r, tb in failures.items()
+                if "simulated MPI job aborted" not in tb
+            }
+            raise RankFailure(primary or failures)
+        if stuck:
+            raise RankFailure({-1: f"rank processes did not terminate: {stuck}"})
+
+        results = [out[1] for out in outcomes]
+        states = [out[2] for out in outcomes]
+        findings = [f for st in states for f in st["findings"]]
+        findings.sort(key=lambda f: (f.rank, f.kind, f.message))
+        sanitizer = (SanitizerView(spec.sanitize, findings)
+                     if spec.sanitize is not None else None)
+        injector = spec.injector
+        if injector is not None:
+            # Adopt each worker's authoritative slice of the fault record.
+            for r, st in enumerate(states):
+                if st["fault_counts"] is not None:
+                    injector.counts[r] = st["fault_counts"]
+                    injector.tracers[r] = st["fault_tracer"]
+        obs = None
+        if spec.obs_config is not None:
+            obs = [st["obs"] for st in states]
+        world = WorldView(
+            spec,
+            accounting=[st["accounting"] for st in states],
+            obs=obs,
+            resilience=[st["resilience"] for st in states],
+            sanitizer=sanitizer,
+            injector=injector,
+        )
+        return BackendRun(results, world)

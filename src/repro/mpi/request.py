@@ -162,6 +162,7 @@ def _poll_until_some(requests: Sequence[Request], want_all: bool) -> list[int]:
 def _wait_loop(requests, comm, world, cond, deadline, resilient, policy,
                next_retry, attempt, completed, pending, obs, wait_span,
                t_retry, want_all, san):
+    fault_run = resilient
     with cond:
         while True:
             if world.aborted:
@@ -222,10 +223,33 @@ def _wait_loop(requests, comm, world, cond, deadline, resilient, policy,
                 else:
                     next_retry = now + policy.attempt_timeout_s(attempt)
                 continue  # re-test immediately after any recovery
+            if fault_run and not resilient:
+                # Retry budget exhausted with no evidence of loss.  Keep
+                # recovering opportunistically: process backends deliver drop
+                # records asynchronously, so a recoverable drop may land in
+                # the stash only after the counted rounds ran dry.  On the
+                # thread backend (synchronous drops) the stash is empty here
+                # and this is a no-op, preserving the counted semantics.
+                recovered = 0
+                for i in pending:
+                    r = requests[i]
+                    if isinstance(r, RecvRequest):
+                        recovered += world.recover_dropped(
+                            r._comm.context, comm.rank, r.source, r.tag)
+                if recovered:
+                    comm.charge("MPI_Retransmit",
+                                recovered * policy.retransmit_cost_us)
+                    continue
             wait_s = min(remaining, 0.5)
             if resilient:
                 wait_s = min(wait_s, max(next_retry - now, 0.0))
-            if san is not None and san.config.deadlock:
+            # In a fault run the retry/recovery machinery owns liveness: a
+            # pending recv may be blocked on a dropped-but-recoverable
+            # message the wait-for graph cannot see (and on process
+            # backends the drop record itself may still be in flight), so
+            # both registration and verdicts are suspended; the hard
+            # ``timeout_s`` deadline above remains the backstop.
+            if san is not None and san.config.deadlock and not fault_run:
                 waits_on: set[int] = set()
                 pends = []
                 for i in pending:

@@ -1,20 +1,23 @@
-"""SCMD job launcher: run the same function on P rank threads.
+"""SCMD job launcher: run the same function on P simulated ranks.
 
 This is the simulator's ``mpiexec -n P``.  The CCA layer builds on it to
 realize the paper's SCMD (Single Component Multiple Data) model: identical
 frameworks containing the same components are instantiated on all P
 processors, with MPI between the cohort instances.
+
+Where the ranks actually execute is pluggable
+(:mod:`repro.mpi.backend`): ``backend="thread"`` (default) runs them as
+threads in this process, ``backend="mp-shm"`` as real processes wired
+through shared-memory rings, ``backend="mpi4py"`` on a real MPI library
+when one is installed.
 """
 
 from __future__ import annotations
 
-import threading
-import traceback
 from typing import Any, Callable
 
-from repro.mpi.comm import SimComm
+from repro.mpi.backend import JobSpec, create_backend
 from repro.mpi.network import NetworkModel
-from repro.mpi.world import SimWorld
 from repro.util.validation import check_positive
 
 
@@ -54,6 +57,8 @@ class ParallelRunner:
         policy=None,
         obs_config=None,
         sanitize=None,
+        backend: str = "thread",
+        collectives: str | None = None,
     ) -> None:
         check_positive("nranks", nranks)
         self.nranks = int(nranks)
@@ -67,52 +72,39 @@ class ParallelRunner:
         self.obs_config = obs_config
         #: optional SanitizerConfig enabling runtime MPI correctness checks
         self.sanitize = sanitize
-        #: the world of the most recent ``run`` (exposes per-rank accounting)
-        self.last_world: SimWorld | None = None
+        #: communicator backend name ("thread", "mp-shm", "mpi4py")
+        self.backend = backend
+        #: collective-algorithm family (None, "flat", "hier")
+        self.collectives = collectives
+        # Fail fast on unknown backend names (before any launch).
+        create_backend(backend)
+        #: the world (or WorldView) of the most recent ``run``
+        self.last_world = None
+
+    def _spec(self) -> JobSpec:
+        return JobSpec(
+            nranks=self.nranks, network=self.network, seed=self.seed,
+            timeout_s=self.timeout_s, injector=self.injector,
+            policy=self.policy, obs_config=self.obs_config,
+            sanitize=self.sanitize, collectives=self.collectives)
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank; return results by rank.
 
         If any rank raises, the world is aborted (waking blocked peers) and
-        a :class:`RankFailure` is raised after all threads join.
+        a :class:`RankFailure` is raised after all ranks wind down.
         """
-        world = SimWorld(self.nranks, network=self.network, seed=self.seed,
-                         timeout_s=self.timeout_s, injector=self.injector,
-                         policy=self.policy, obs_config=self.obs_config,
-                         sanitize=self.sanitize)
-        self.last_world = world
-        results: list[Any] = [None] * self.nranks
-        failures: dict[int, str] = {}
-        lock = threading.Lock()
+        out = create_backend(self.backend).launch(self._spec(), fn, args, kwargs)
+        self.last_world = out.world
+        return out.results
 
-        def target(rank: int) -> None:
-            comm = SimComm(world, rank)
-            try:
-                results[rank] = fn(comm, *args, **kwargs)
-            except BaseException:  # ra: noqa[RA005] — rank isolation barrier
-                with lock:
-                    failures[rank] = traceback.format_exc()
-                world.abort(f"rank {rank} raised")
 
-        threads = [
-            threading.Thread(target=target, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
-            for r in range(self.nranks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=self.timeout_s + 10.0)
-        alive = [t.name for t in threads if t.is_alive()]
-        if alive:
-            world.abort("join timeout")
-            raise RankFailure({-1: f"rank threads did not terminate: {alive}"})
-        if failures:
-            # Drop secondary abort-induced failures when a primary cause exists.
-            primary = {
-                r: tb for r, tb in failures.items() if "simulated MPI job aborted" not in tb
-            }
-            raise RankFailure(primary or failures)
-        if world.sanitizer is not None:
-            # End-of-job hygiene: leaked requests / unconsumed envelopes.
-            world.sanitizer.finalize(world)
-        return results
+def create_world(backend: str = "thread", nranks: int = 1,
+                 **kwargs: Any) -> ParallelRunner:
+    """Named-communicator factory (ChainerMN-style).
+
+    ``create_world("mp-shm", nranks=16).run(fn)`` is the one-line spelling
+    of "launch fn on 16 shared-memory rank processes".  All
+    :class:`ParallelRunner` keyword options pass through.
+    """
+    return ParallelRunner(nranks, backend=backend, **kwargs)

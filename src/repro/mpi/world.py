@@ -65,11 +65,16 @@ class SimWorld:
         policy: ResiliencePolicy | None = None,
         obs_config: ObsConfig | None = None,
         sanitize: SanitizerConfig | None = None,
+        collectives: str | None = None,
     ) -> None:
         check_positive("nranks", nranks)
         check_positive("timeout_s", timeout_s)
+        from repro.mpi.collectives import check_algorithm
         self.nranks = int(nranks)
         self.network = network or NetworkModel()
+        #: collective-algorithm family: None (legacy rendezvous model),
+        #: "flat" (rendezvous, honest linear cost), "hier" (tree algorithms)
+        self.collectives = check_algorithm(collectives)
         self.timeout_s = float(timeout_s)
         self.rngs = spawn_rngs(seed, self.nranks)
         self.accounting = [MPIAccounting() for _ in range(self.nranks)]
@@ -299,25 +304,26 @@ class SimWorld:
     def match_timeout(self, context: str, rank: int, source: int, tag: int,
                       timeout_s: float) -> Envelope | None:
         """Like :meth:`match`, but give up after ``timeout_s`` (one bounded
-        retry round) and return None instead of raising."""
+        retry round) and return None instead of raising.
+
+        Deadlock verdicts are suspended here: a receive inside a bounded
+        retry round may be blocked on a *dropped-but-recoverable* message,
+        which the wait-for graph cannot see — the retry machinery (which
+        calls this) owns liveness until its rounds are exhausted, after
+        which the caller falls back to :meth:`match` and detection resumes.
+        """
         cond = self._mail_conds[rank]
         deadline = time.monotonic() + timeout_s
-        try:
-            with cond:
-                while True:
-                    self._check_abort()
-                    env = self._pop_locked(context, rank, source, tag)
-                    if env is not None:
-                        return env
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        return None
-                    wait_s = self._sanitize_blocked_recv(
-                        rank, source, tag, context, min(remaining, 0.5))
-                    cond.wait(wait_s)
-        finally:
-            if self.sanitizer is not None:
-                self.sanitizer.exit_wait(rank)
+        with cond:
+            while True:
+                self._check_abort()
+                env = self._pop_locked(context, rank, source, tag)
+                if env is not None:
+                    return env
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                cond.wait(min(remaining, 0.5))
 
     # ---------------------------------------------------------- collective
     def _sanitize_blocked_collective(self, rank: int, key: tuple[str, int],

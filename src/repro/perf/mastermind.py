@@ -62,6 +62,18 @@ class Mastermind(Component, MonitorPort):
         self._next_token = 0
         self.callpath = CallPathRecorder()
 
+    def __getstate__(self) -> dict:
+        """Pickle the measurement database without the framework wiring.
+
+        ``_services`` links back into the live framework (ports, comm,
+        locks) and is meaningless in another process; a rehydrated
+        Mastermind is a read-only record store until ``set_services`` is
+        called again.
+        """
+        state = self.__dict__.copy()
+        state["_services"] = None
+        return state
+
     # --------------------------------------------------------------- CCA
     def set_services(self, services: Services) -> None:
         self._services = services

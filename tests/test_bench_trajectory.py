@@ -1,0 +1,79 @@
+"""Unit tests for the benchmark trajectory store and regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import Cell, compare, format_report, load, record_cell
+from repro.bench.__main__ import main as bench_main
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "BENCH_scaling.json")
+
+
+def test_record_and_load_roundtrip(path):
+    record_cell(path, "allreduce_p8_us", 150.25, meta={"ranks": 8})
+    record_cell(path, "wall_s", 1.5, unit="s", gate=False)
+    cells = load(path)
+    assert set(cells) == {"allreduce_p8_us", "wall_s"}
+    c = cells["allreduce_p8_us"]
+    assert c.value == 150.25 and c.unit == "us" and c.gate
+    assert c.meta == {"ranks": 8}
+    assert not cells["wall_s"].gate
+
+
+def test_record_overwrites_in_place(path):
+    record_cell(path, "x_us", 100.0)
+    record_cell(path, "x_us", 90.0)
+    assert load(path)["x_us"].value == 90.0
+
+
+def test_load_missing_and_bad_schema(tmp_path, path):
+    assert load(path) == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "cells": {}}))
+    with pytest.raises(ValueError, match="schema"):
+        load(str(bad))
+
+
+def test_compare_gates_only_shared_gated_cells():
+    base = {"a_us": Cell(100.0), "wall_s": Cell(1.0, unit="s", gate=False),
+            "gone_us": Cell(5.0)}
+    cur = {"a_us": Cell(115.0), "wall_s": Cell(9.0, unit="s", gate=False),
+           "new_us": Cell(7.0)}
+    # 15% slower is inside the 20% tolerance; wall (ungated) and
+    # added/removed cells never gate.
+    assert compare(base, cur) == []
+    regs = compare(base, {"a_us": Cell(130.0)})
+    assert [r.name for r in regs] == ["a_us"]
+    assert regs[0].ratio == pytest.approx(1.30)
+    assert "a_us" in regs[0].format()
+
+
+def test_compare_higher_is_better_inverts():
+    base = {"speedup": Cell(4.0, unit="x", higher_is_better=True)}
+    assert compare(base, {"speedup": Cell(3.0, unit="x",
+                                          higher_is_better=True)})
+    assert not compare(base, {"speedup": Cell(5.0, unit="x",
+                                              higher_is_better=True)})
+
+
+def test_cli_check(path, tmp_path, capsys):
+    cur = str(tmp_path / "cur.json")
+    # No baseline yet: nothing to gate, exit 0.
+    assert bench_main(["check", "--baseline", path, "--current", cur]) == 0
+    record_cell(path, "a_us", 100.0)
+    # Baseline exists but no current file: the benches did not run, exit 1.
+    assert bench_main(["check", "--baseline", path, "--current", cur]) == 1
+    record_cell(cur, "a_us", 150.0)
+    assert bench_main(["check", "--baseline", path, "--current", cur]) == 1
+    out = capsys.readouterr()
+    assert "a_us" in out.err
+    assert bench_main(["check", "--baseline", path, "--current", cur,
+                       "--tolerance", "0.6"]) == 0
+    report = format_report(load(path), load(cur), [])
+    assert "a_us" in report
