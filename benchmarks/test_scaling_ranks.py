@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import os
 
+import pytest
 from conftest import SMOKE, write_out
 
 from repro.bench import record_cell
@@ -137,14 +138,20 @@ def test_scaling_curves_to_64(benchmark, out_dir):
     assert s == sorted(s), s
 
 
+#: walls measured by the backend-comparison bench, consumed by the
+#: speedup-gate test below (same module, runs later in file order)
+_BACKEND_WALLS: dict[tuple[str, int], float] = {}
+
+
 def test_scaling_backends_thread_vs_mpshm(benchmark, out_dir):
     """Same job on both backends: identical modeled outcome, real
     processes vs threads for wall-clock.  Wall numbers are recorded
-    ungated; the >2x speedup claim is asserted only where the hardware
-    can express it (the backends are indistinguishable on one core)."""
+    ungated; the >2x speedup claim is gated separately in
+    :func:`test_mpshm_speedup_multicore` (the backends are
+    indistinguishable on one core)."""
     import time
 
-    walls: dict[tuple[str, int], float] = {}
+    walls = _BACKEND_WALLS
     runs: dict[tuple[str, int], object] = {}
 
     def run():
@@ -176,10 +183,39 @@ def test_scaling_backends_thread_vs_mpshm(benchmark, out_dir):
         title="Thread vs mp-shm backend wall clock (identical modeled runs)",
     ))
 
-    cores = os.cpu_count() or 1
-    if cores >= 8:
-        # Compute-bound cell: real processes must beat the GIL by >2x.
-        p = max(p for p in CURVE_RANKS if p <= cores)
-        assert walls[("thread", p)] / walls[("mp-shm", p)] > 2.0, walls
     benchmark.extra_info["walls_s"] = {
         f"{b}_p{p}": round(w, 3) for (b, p), w in walls.items()}
+
+
+def _note_speedup_outcome(out_dir: str, line: str) -> None:
+    """Append the speedup-gate verdict to the scaling out-file, so a
+    re-anchor reading ``scaling_ranks.txt`` can tell "never ran" from
+    "passed" without digging through CI logs."""
+    with open(os.path.join(out_dir, "scaling_ranks.txt"), "a",
+              encoding="utf-8") as fh:
+        fh.write(f"mp-shm >2x speedup gate: {line}\n")
+
+
+def test_mpshm_speedup_multicore(out_dir):
+    """The mp-shm backend must beat the GIL by >2x — on real parallel
+    hardware.  On fewer than 8 cores the claim is untestable, and the
+    skip is *loud*: an explicit reason plus a never-ran note in the
+    out-file (a silent pass here used to be indistinguishable from a
+    pass on a 64-core box)."""
+    cores = os.cpu_count() or 1
+    if cores < 8:
+        _note_speedup_outcome(
+            out_dir, f"NEVER RAN on this host ({cores} core(s) < 8)")
+        pytest.skip(f"mp-shm >2x speedup assert needs >= 8 cores, "
+                    f"host has {cores}; recorded as never-ran in "
+                    f"scaling_ranks.txt")
+    if not _BACKEND_WALLS:
+        pytest.skip("backend-comparison bench did not run in this session; "
+                    "no wall-clock samples to judge")
+    # Compute-bound cell: real processes must beat the GIL by >2x.
+    p = max(p for p in CURVE_RANKS if p <= cores)
+    ratio = _BACKEND_WALLS[("thread", p)] / _BACKEND_WALLS[("mp-shm", p)]
+    _note_speedup_outcome(
+        out_dir, f"ran at P={p} on {cores} cores: {ratio:.2f}x "
+                 f"{'PASS' if ratio > 2.0 else 'FAIL'}")
+    assert ratio > 2.0, _BACKEND_WALLS

@@ -1,0 +1,160 @@
+"""Serving-stack load test: throughput and latency SLO gate.
+
+Drives a seeded request mix (single predictions, batched predictions,
+catalog and metrics reads) through the in-process :class:`ModelServer`
+with the micro-batcher and prediction cache enabled, then gates the
+results in the ``BENCH_serving.json`` trajectory:
+
+* ``serve_throughput_rps`` — must stay above the SLO floor committed in
+  the repo-root baseline (2,000 req/s);
+* ``serve_latency_p50_us`` — recorded from the raw latency samples via
+  :func:`record_cell_samples` (median + seeded-bootstrap CI, gated on
+  the median);
+* ``serve_latency_p99_us`` — the tail SLO (50 ms ceiling).
+
+Unlike the scaling cells (which ratchet against the previous best), the
+committed serving baseline *is* the SLO: the gate fails only when the
+service can no longer meet the absolute budget on the CI runner.
+
+Also asserts the batching correctness contract: a batched prediction is
+bitwise-identical to the same query issued alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+from conftest import SMOKE, write_out
+
+from repro.bench import record_cell, record_cell_samples
+from repro.models.performance import build_model
+from repro.models.serialize import ModelRepository
+from repro.serve import ModelServer, ServeConfig
+from repro.serve.loadgen import LoadMix, run_load
+from repro.util.rng import make_rng
+
+TRAJECTORY = os.path.join(os.path.dirname(__file__), "out",
+                          "BENCH_serving.json")
+
+TOTAL_REQUESTS = 2_500 if SMOKE else 10_000
+CONCURRENCY = 16
+
+#: the serving SLO (mirrored by the committed baseline cells)
+SLO_THROUGHPUT_RPS = 2_000.0
+SLO_P99_US = 50_000.0
+
+
+def build_model_repo(tmpdir: str) -> str:
+    """A repository resembling the case study's fitted models."""
+    repo = ModelRepository(tmpdir)
+    rng = make_rng(7)
+    q = np.repeat([1e3, 5e3, 2e4, 8e4, 3e5], 8)
+    for comp, slope, func in (("GodunovFlux", 0.315, "flux"),
+                              ("EFMFlux", 0.16, "flux")):
+        for mode, scale in (("sequential", 1.0), ("strided", 1.8)):
+            t = 25.0 + slope * scale * q + rng.normal(0, 4.0, q.size)
+            repo.store(func, build_model(
+                f"{comp}[{mode}]", q, t, mean_families=("linear",),
+                quality=0.9 if comp == "GodunovFlux" else 0.75))
+    for mode, scale in (("x", 1.0), ("y", 1.45)):
+        t = np.exp(1.19 * np.log(q) - 3.68) * scale \
+            * np.exp(rng.normal(0, 0.02, q.size))
+        repo.store("states", build_model(
+            f"States[{mode}]", q, t, mean_families=("power",), quality=1.0))
+    return tmpdir
+
+
+def test_serving_load_slo(benchmark, out_dir, tmp_path):
+    models_dir = build_model_repo(str(tmp_path / "models"))
+    holder = {}
+
+    async def drive():
+        async with ModelServer(models_dir, ServeConfig()) as server:
+            holder["stats"] = await run_load(
+                server, total=TOTAL_REQUESTS, concurrency=CONCURRENCY,
+                seed=0, mix=LoadMix())
+            holder["server"] = server
+
+    benchmark.pedantic(lambda: asyncio.run(drive()), rounds=1, iterations=1)
+
+    stats, server = holder["stats"], holder["server"]
+    assert stats.errors == 0, stats.status_counts
+    assert stats.requests == TOTAL_REQUESTS
+
+    lat = np.asarray(stats.latencies_us)
+    record_cell(TRAJECTORY, "serve_throughput_rps", stats.throughput_rps,
+                unit="rps", higher_is_better=True,
+                meta={"requests": TOTAL_REQUESTS,
+                      "concurrency": CONCURRENCY,
+                      "cpu_count": os.cpu_count(), "smoke": SMOKE})
+    record_cell_samples(TRAJECTORY, "serve_latency_p50_us", lat,
+                        meta={"requests": TOTAL_REQUESTS,
+                              "concurrency": CONCURRENCY})
+    record_cell(TRAJECTORY, "serve_latency_p99_us", stats.p99_us,
+                meta={"requests": TOTAL_REQUESTS,
+                      "concurrency": CONCURRENCY})
+
+    cache = server.cache
+    write_out(out_dir, "serving_load.txt", "\n".join([
+        "Serving load test (in-process, micro-batched, cached)",
+        "",
+        stats.format(),
+        f"cache:       {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate():.1%}), {cache.evictions} evictions",
+        f"model set:   {server.store.snapshot.version} "
+        f"({len(server.store.snapshot)} models)",
+        f"SLO:         >= {SLO_THROUGHPUT_RPS:,.0f} req/s, "
+        f"p99 < {SLO_P99_US / 1e3:.0f} ms",
+    ]))
+
+    # The SLO itself (the trajectory gate enforces the same numbers
+    # against the committed baseline).
+    assert stats.throughput_rps >= SLO_THROUGHPUT_RPS, stats.format()
+    assert stats.p99_us < SLO_P99_US, stats.format()
+    # The batcher must actually coalesce under concurrent load.
+    hist = server.metrics.histogram("serve_batch_size")
+    assert hist.count > 0
+    assert cache.hits > 0
+    benchmark.extra_info["throughput_rps"] = round(stats.throughput_rps)
+    benchmark.extra_info["p99_us"] = round(stats.p99_us, 1)
+
+
+def test_batched_bitwise_equals_single(tmp_path):
+    """Acceptance: batch evaluation is bitwise-equal to single requests."""
+    models_dir = build_model_repo(str(tmp_path / "models"))
+    qs = [512.0, 1.3e3, 7.7e3, 4.2e4, 1.1e5, 2.9e5]
+    queries = [{"component": c, "mode": m, "q": q}
+               for q in qs
+               for c, m in (("GodunovFlux", "strided"),
+                            ("States", "y"), ("EFMFlux", "sequential"))]
+
+    async def singles():
+        preds = []
+        async with ModelServer(models_dir, ServeConfig()) as server:
+            for obj in queries:  # sequential: every request is a batch of 1
+                resp = await server.handle("POST", "/v1/predict",
+                                           json.dumps(obj).encode())
+                assert resp.status == 200, resp.body
+                preds.append(json.loads(resp.body)["prediction"])
+        return preds
+
+    async def batched():
+        async with ModelServer(models_dir, ServeConfig()) as server:
+            resp = await server.handle(
+                "POST", "/v1/predict/batch",
+                json.dumps({"requests": queries}).encode())
+            assert resp.status == 200, resp.body
+            return json.loads(resp.body)["predictions"]
+
+    one_by_one = asyncio.run(singles())
+    together = asyncio.run(batched())
+    assert len(one_by_one) == len(together) == len(queries)
+    for single, batch in zip(one_by_one, together):
+        assert single["model"] == batch["model"]
+        assert single["q_bucket"] == batch["q_bucket"]
+        # Bitwise: same float64, not approximately equal.
+        assert single["mean_us"] == batch["mean_us"], (single, batch)
+        assert single["std_us"] == batch["std_us"], (single, batch)

@@ -1,0 +1,141 @@
+"""Serve fitted performance models over an async prediction service.
+
+The closing step of the paper's program: once component performance
+models exist (Eq. 1/2 fits), they become a queryable service that other
+tools — schedulers, assembly optimizers, dashboards — consult at run
+time.  This example walks the full serving lifecycle in-process:
+
+1. Measures the two flux kernels on a small sweep, fits models, and
+   stores them in a :class:`ModelRepository` directory.
+2. Starts :class:`ModelServer` (micro-batching + prediction cache +
+   directory watcher) and exercises every endpoint through
+   ``server.handle`` — no sockets needed.
+3. Asks ``/v1/optimize`` which implementation the measured workload
+   favors.
+4. Hot-reloads: re-stores a model while the server runs and shows the
+   version stamp change without a restart.
+5. Runs the seeded load generator and prints p50/p99/throughput plus
+   cache effectiveness.
+
+Run:  python examples/model_serving.py
+For the HTTP front end:  python -m repro.serve --models <dir> --port 8077
+then:  curl -s localhost:8077/v1/predict -d '{"component":"EFMFlux","q":50000}'
+"""
+
+import argparse
+import asyncio
+import json
+import tempfile
+
+from repro.euler.efm import EFMKernel
+from repro.euler.godunov import GodunovKernel
+from repro.euler.states import StatesKernel
+from repro.harness.sweeps import measure_mode_sweep, q_grid
+from repro.models.performance import PerformanceModel, build_model
+from repro.models.serialize import ModelRepository
+from repro.serve import LoadMix, ModelServer, ServeConfig, run_load
+
+
+def fit_kernel(name: str, kernel, quality: float,
+               points: int, qmax: int) -> PerformanceModel:
+    states = StatesKernel()
+    cache = {}
+
+    def invoke(U, mode):
+        key = (id(U), mode)
+        if key not in cache:
+            cache[key] = states.compute(U, mode)
+        wl, wr = cache[key]
+        return kernel.compute(wl, wr, mode)
+
+    samples = measure_mode_sweep(invoke, q_grid(points, 2_000, qmax),
+                                 nprocs=1, repeats=2)
+    q, t = samples.mode_averaged()
+    return build_model(name, q, t, mean_families=("linear", "power"),
+                       quality=quality)
+
+
+async def demo(models_dir: str, requests: int, concurrency: int) -> None:
+    repo = ModelRepository(models_dir)
+    server = ModelServer(models_dir,
+                         ServeConfig(reload_interval_s=0.05))
+
+    async def get(path):
+        return json.loads((await server.handle("GET", path)).body)
+
+    async def post(path, obj):
+        resp = await server.handle("POST", path, json.dumps(obj).encode())
+        return resp.status, json.loads(resp.body)
+
+    async with server:
+        health = await get("/healthz")
+        print(f"healthz: {health['status']}, {health['models']} models, "
+              f"version {health['model_version']}")
+
+        catalog = await get("/v1/models")
+        for m in catalog["models"]:
+            print(f"  model: {m['component']:12s} "
+                  f"functionality={m['functionality']} "
+                  f"family={m['family']} r2={m['r2']:.3f}")
+
+        status, doc = await post("/v1/predict",
+                                 {"component": "EFMFlux", "q": 5e4})
+        pred = doc["prediction"]
+        print(f"predict EFMFlux @ q=5e4: {pred['mean_us']:.1f} us "
+              f"(model {pred['model']}, version {doc['model_version']})")
+
+        status, doc = await post("/v1/optimize", {"slots": [
+            {"slot": "flux", "q_values": [1e4, 5e4], "counts": [4, 2]}]})
+        best = doc["best"]
+        print(f"optimize over {doc['search_space']} assemblies: "
+              f"best binding {best['binding']} "
+              f"(cost {best['cost_us']:.1f} us)")
+
+        # Hot reload: store an updated model while the server is live.
+        v_before = (await get("/healthz"))["model_version"]
+        repo.store("flux", fit_kernel("EFMFlux", EFMKernel(),
+                                      quality=0.75, points=3, qmax=20_000))
+        for _ in range(100):
+            await asyncio.sleep(0.05)
+            v_after = (await get("/healthz"))["model_version"]
+            if v_after != v_before:
+                break
+        print(f"hot reload: version {v_before} -> {v_after} "
+              f"(no restart, atomic swap)")
+
+        stats = await run_load(server, total=requests,
+                               concurrency=concurrency, seed=0,
+                               mix=LoadMix())
+        print(f"load: {stats.requests} requests in "
+              f"{stats.duration_us / 1e6:.2f} s -> "
+              f"{stats.throughput_rps:,.0f} req/s, "
+              f"p50 {stats.p50_us:.0f} us, p99 {stats.p99_us:.0f} us, "
+              f"errors {stats.errors}")
+        print(f"cache: {server.cache.hits} hits / "
+              f"{server.cache.misses} misses "
+              f"(hit rate {server.cache.hit_rate():.0%}), "
+              f"{server.cache.evictions} evictions")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--points", type=int, default=4,
+                    help="sweep points per kernel fit")
+    ap.add_argument("--qmax", type=int, default=40_000)
+    ap.add_argument("--requests", type=int, default=800)
+    ap.add_argument("--concurrency", type=int, default=16)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as models_dir:
+        repo = ModelRepository(models_dir)
+        for name, kernel, quality in (("EFMFlux", EFMKernel(), 0.75),
+                                      ("GodunovFlux", GodunovKernel(), 1.0)):
+            model = fit_kernel(name, kernel, quality,
+                               args.points, args.qmax)
+            path = repo.store("flux", model)
+            print(f"stored {name}: {path}")
+        asyncio.run(demo(models_dir, args.requests, args.concurrency))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,24 @@
-"""Persistent performance trajectory for the scaling benchmarks.
+"""Persistent performance trajectories for the benchmark fleet.
 
-The scaling and collective benches record named *cells* (scalar metrics)
-into a JSON trajectory file — ``BENCH_scaling.json`` — via
-:func:`record_cell`.  A committed copy of that file at the repo root is
-the baseline; ``python -m repro.bench check`` compares a freshly
-generated trajectory against it and fails on regressions beyond a
-tolerance (the CI bench-trajectory gate).
+Benches record named *cells* (scalar metrics) into per-area JSON
+trajectory files — ``BENCH_scaling.json``, ``BENCH_serving.json`` — via
+:func:`record_cell` / :func:`record_cell_samples`.  Committed copies at
+the repo root are the baselines; ``python -m repro.bench check``
+compares a freshly generated trajectory against its baseline and fails
+on regressions beyond a tolerance (the CI bench-trajectory gates).
 
 Modeled (virtual-microsecond) metrics are deterministic given the seed,
-so they gate reliably even on noisy shared runners; wall-clock metrics
-are recorded for trend-watching and marked ``gate=False``.
+so they gate reliably even on noisy shared runners.  Wall-clock metrics
+either stay ungated (single-shot timings) or go through
+:func:`record_cell_samples`, which stores the per-cell median plus a
+seeded-bootstrap 95% CI and gates on the median — for the serving SLO
+cells, the committed baseline *is* the SLO floor, so the gate enforces
+an absolute budget rather than a ratchet.
 """
 
 from repro.bench.trajectory import (Cell, Regression, compare, format_report,
-                                    load, record_cell)
+                                    load, record_cell, record_cell_samples,
+                                    summarize_samples)
 
 __all__ = [
     "Cell",
@@ -22,4 +27,6 @@ __all__ = [
     "format_report",
     "load",
     "record_cell",
+    "record_cell_samples",
+    "summarize_samples",
 ]

@@ -2,17 +2,26 @@
 
 A trajectory file is JSON::
 
-    {"schema": 1,
+    {"schema": 2,
      "cells": {"allreduce_hier_p16_us": {"value": 123.4,
                                          "unit": "us",
                                          "higher_is_better": false,
                                          "gate": true,
+                                         "median": 120.9,
+                                         "ci95": [118.2, 124.0],
+                                         "n_samples": 200,
                                          "meta": {...}}}}
 
 Cells default to lower-is-better (times, modeled costs).  ``gate=False``
 cells are recorded for trend-watching but skipped by :func:`compare` —
 use it for wall-clock numbers whose noise floor exceeds any sensible
 tolerance on shared CI runners.
+
+Wall-clock cells with many samples should be recorded through
+:func:`record_cell_samples`, which stores the per-cell **median** plus a
+seeded-bootstrap 95% confidence interval; :func:`compare` gates on the
+median when present (robust to the odd scheduler hiccup), falling back
+to ``value`` for scalar cells.  Schema 1 files (pre-median) still load.
 """
 
 from __future__ import annotations
@@ -20,9 +29,14 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
-SCHEMA = 1
+import numpy as np
+
+from repro.util.rng import make_rng
+
+SCHEMA = 2
+_READABLE_SCHEMAS = (1, 2)
 
 #: canonical trajectory file name (committed baseline at the repo root,
 #: freshly generated copies under ``benchmarks/out/``)
@@ -38,7 +52,18 @@ class Cell:
     higher_is_better: bool = False
     #: participate in the regression gate (turn off for wall-clock noise)
     gate: bool = True
+    #: sample median (set by :func:`record_cell_samples`); the gate uses
+    #: it when present
+    median: float | None = None
+    #: seeded-bootstrap 95% CI of the median
+    ci95: tuple[float, float] | None = None
+    n_samples: int | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def gating_value(self) -> float:
+        """What :func:`compare` judges: the median when recorded."""
+        return self.value if self.median is None else self.median
 
 
 @dataclass(frozen=True)
@@ -61,24 +86,41 @@ def load(path: str) -> dict[str, Cell]:
         return {}
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in _READABLE_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported trajectory schema {doc.get('schema')!r}")
     cells: dict[str, Cell] = {}
     for name, raw in doc.get("cells", {}).items():
+        ci = raw.get("ci95")
+        median = raw.get("median")
+        n = raw.get("n_samples")
         cells[name] = Cell(
             value=float(raw["value"]),
             unit=str(raw.get("unit", "us")),
             higher_is_better=bool(raw.get("higher_is_better", False)),
             gate=bool(raw.get("gate", True)),
+            median=None if median is None else float(median),
+            ci95=None if ci is None else (float(ci[0]), float(ci[1])),
+            n_samples=None if n is None else int(n),
             meta=dict(raw.get("meta", {})),
         )
     return cells
 
 
+def _cell_obj(cell: Cell) -> dict[str, Any]:
+    """JSON form with optional (None) statistics elided."""
+    obj = asdict(cell)
+    for key in ("median", "ci95", "n_samples"):
+        if obj[key] is None:
+            del obj[key]
+    if obj.get("ci95") is not None:
+        obj["ci95"] = list(obj["ci95"])
+    return obj
+
+
 def _dump(path: str, cells: dict[str, Cell]) -> None:
     doc = {"schema": SCHEMA,
-           "cells": {name: asdict(cells[name]) for name in sorted(cells)}}
+           "cells": {name: _cell_obj(cells[name]) for name in sorted(cells)}}
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -103,29 +145,80 @@ def record_cell(path: str, name: str, value: float, *, unit: str = "us",
     return cell
 
 
+def summarize_samples(samples: Sequence[float], *, seed: int = 0,
+                      n_boot: int = 1000,
+                      confidence: float = 0.95) -> tuple[float, tuple[float, float]]:
+    """Median and a seeded-bootstrap CI of the median.
+
+    The bootstrap resamples with replacement ``n_boot`` times from a
+    generator seeded via :func:`repro.util.rng.make_rng`, so the reported
+    interval is reproducible given the samples.  With a single sample the
+    interval collapses to that point.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    med = float(np.median(arr))
+    if arr.size == 1:
+        return med, (med, med)
+    rng = make_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    boot_medians = np.median(arr[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(boot_medians, [alpha, 1.0 - alpha])
+    return med, (float(lo), float(hi))
+
+
+def record_cell_samples(path: str, name: str, samples: Sequence[float], *,
+                        unit: str = "us", higher_is_better: bool = False,
+                        gate: bool = True, seed: int = 0,
+                        meta: dict[str, Any] | None = None) -> Cell:
+    """Record a wall-clock cell from raw samples: median + bootstrap CI.
+
+    ``value`` is set to the median too (so schema-1 consumers and humans
+    reading the file see the robust statistic), and :func:`compare` gates
+    on the median explicitly.
+    """
+    data = [float(s) for s in samples]
+    median, ci95 = summarize_samples(data, seed=seed)
+    cells = load(path)
+    cell = Cell(value=median, unit=unit, higher_is_better=higher_is_better,
+                gate=gate, median=median, ci95=ci95,
+                n_samples=len(data), meta=dict(meta or {}))
+    cells[name] = cell
+    _dump(path, cells)
+    return cell
+
+
 def compare(baseline: dict[str, Cell], current: dict[str, Cell],
             tolerance: float = 0.20) -> list[Regression]:
     """Gated cells present in both trajectories that regressed > tolerance.
 
     For lower-is-better cells a regression is ``current > baseline *
     (1 + tolerance)``; for higher-is-better, ``current < baseline *
-    (1 - tolerance)``.  Cells missing from either side are ignored (new
-    benches and retired benches both happen; the gate judges overlap).
+    (1 - tolerance)``.  Cells recorded from samples are judged on their
+    **median** (``Cell.gating_value``), not the mean, so one scheduler
+    hiccup in a wall-clock bench cannot fail the gate.  Cells missing
+    from either side are ignored (new benches and retired benches both
+    happen; the gate judges overlap).
     """
     out: list[Regression] = []
     for name in sorted(set(baseline) & set(current)):
         base, cur = baseline[name], current[name]
         if not (base.gate and cur.gate):
             continue
-        if base.value == 0:
+        bval, cval = base.gating_value, cur.gating_value
+        if bval == 0:
             continue
         if base.higher_is_better:
-            ratio = base.value / cur.value if cur.value else float("inf")
+            ratio = bval / cval if cval else float("inf")
         else:
-            ratio = cur.value / base.value
+            ratio = cval / bval
         if ratio > 1.0 + tolerance:
-            out.append(Regression(name=name, baseline=base.value,
-                                  current=cur.value, ratio=ratio))
+            out.append(Regression(name=name, baseline=bval,
+                                  current=cval, ratio=ratio))
     return out
 
 
@@ -139,8 +232,11 @@ def format_report(baseline: dict[str, Cell], current: dict[str, Cell],
         base, cur = baseline[name], current[name]
         mark = "REGRESSED" if name in bad else (
             "ungated" if not (base.gate and cur.gate) else "ok")
-        lines.append(f"  {name}: {base.value:g} -> {cur.value:g} "
-                     f"{cur.unit} [{mark}]")
+        ci = (f" ci95=[{cur.ci95[0]:g}, {cur.ci95[1]:g}] n={cur.n_samples}"
+              if cur.ci95 is not None else "")
+        stat = "median " if cur.median is not None else ""
+        lines.append(f"  {name}: {stat}{base.gating_value:g} -> "
+                     f"{cur.gating_value:g} {cur.unit}{ci} [{mark}]")
     only_base = sorted(set(baseline) - set(current))
     only_cur = sorted(set(current) - set(baseline))
     if only_base:

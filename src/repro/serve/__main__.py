@@ -1,0 +1,57 @@
+"""CLI: run the model-serving HTTP front end.
+
+Usage::
+
+    python -m repro.serve --models runs/models [--host 127.0.0.1]
+        [--port 8077] [--cache-ttl 0] [--reload-interval 0.5]
+
+Serves until interrupted.  Try it::
+
+    curl -s localhost:8077/v1/predict -d \
+        '{"component": "GodunovFlux", "mode": "strided", "q": 512}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.serve.server import ModelServer, ServeConfig
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    config = ServeConfig(
+        cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+        reload_interval_s=args.reload_interval)
+    server = ModelServer(args.models, config)
+    async with server:
+        http = await server.serve_http(args.host, args.port)
+        snap = server.store.snapshot
+        print(f"serving {len(snap)} model(s) [{snap.version}] "
+              f"on http://{args.host}:{args.port}")
+        async with http:
+            await http.serve_forever()
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Performance-model serving over HTTP/JSON")
+    ap.add_argument("--models", required=True,
+                    help="ModelRepository directory to serve")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8077)
+    ap.add_argument("--cache-ttl", type=float, default=0.0,
+                    help="prediction TTL in seconds (0 = no TTL)")
+    ap.add_argument("--reload-interval", type=float, default=0.5,
+                    help="model-directory poll interval in seconds")
+    args = ap.parse_args(argv)
+    try:
+        asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Deterministic load generator for the serving stack.
+
+Drives thousands of requests through :meth:`ModelServer.handle`
+**in-process** — no sockets — so the measured p50/p99 latency and
+throughput are the service's own cost (routing, validation, batching,
+cache, model math), which is what the ``BENCH_serving.json`` trajectory
+gates on.
+
+Determinism: the request stream is a pure function of the seed.  Each
+concurrent worker draws from :func:`repro.util.rng.rng_from_key`
+``(seed, worker_id)``, so the set of issued requests is identical run to
+run regardless of asyncio interleaving (only the arrival order varies,
+as it would under real traffic).
+
+CLI::
+
+    python -m repro.serve.loadgen --models runs/models \
+        --requests 5000 --concurrency 64 --seed 0 [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.schema import ValidationError
+from repro.serve.server import ModelServer, ServeConfig
+from repro.util.rng import rng_from_key
+from repro.util.timebase import now_us
+
+__all__ = ["LoadMix", "LoadStats", "run_load", "generate_requests", "main"]
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """Traffic composition (weights; normalized internally)."""
+
+    predict: float = 0.80
+    batch: float = 0.15
+    models: float = 0.04
+    metrics: float = 0.01
+    #: requests per /v1/predict/batch body
+    batch_size: int = 16
+    q_lo: float = 1e3
+    q_hi: float = 3e5
+
+    def weights(self) -> np.ndarray:
+        w = np.asarray([self.predict, self.batch, self.models, self.metrics],
+                       dtype=float)
+        if w.sum() <= 0 or (w < 0).any():
+            raise ValueError(f"load mix weights must be >= 0 and sum > 0: {w}")
+        return w / w.sum()
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Aggregate results of one load run."""
+
+    requests: int
+    errors: int
+    duration_us: float
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    latencies_us: tuple[float, ...]
+    status_counts: dict[int, int]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / (self.duration_us / 1e6) if self.duration_us else 0.0
+
+    def format(self) -> str:
+        statuses = ", ".join(f"{s}: {n}" for s, n in
+                             sorted(self.status_counts.items()))
+        return "\n".join([
+            f"requests:    {self.requests} ({self.errors} errors)",
+            f"duration:    {self.duration_us / 1e6:.3f} s",
+            f"throughput:  {self.throughput_rps:,.0f} req/s",
+            f"latency p50: {self.p50_us:,.1f} us",
+            f"latency p99: {self.p99_us:,.1f} us",
+            f"latency mean:{self.mean_us:,.1f} us",
+            f"statuses:    {statuses}",
+        ])
+
+
+def generate_requests(seed: int, worker: int, n: int, components: list[str],
+                      modes: dict[str, list[str | None]],
+                      mix: LoadMix) -> list[tuple[str, str, bytes]]:
+    """The worker's deterministic request stream: (method, path, body)."""
+    if not components:
+        raise ValueError("need at least one component to generate load")
+    rng = rng_from_key(seed, worker)
+    weights = mix.weights()
+    kinds = ("predict", "batch", "models", "metrics")
+    out: list[tuple[str, str, bytes]] = []
+
+    def one_query() -> dict:
+        comp = components[int(rng.integers(len(components)))]
+        mode = modes[comp][int(rng.integers(len(modes[comp])))]
+        q = float(np.exp(rng.uniform(np.log(mix.q_lo), np.log(mix.q_hi))))
+        body = {"component": comp, "q": q}
+        if mode is not None:
+            body["mode"] = mode
+        return body
+
+    for _ in range(n):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind == "predict":
+            out.append(("POST", "/v1/predict",
+                        json.dumps(one_query()).encode()))
+        elif kind == "batch":
+            reqs = [one_query() for _ in range(mix.batch_size)]
+            out.append(("POST", "/v1/predict/batch",
+                        json.dumps({"requests": reqs}).encode()))
+        elif kind == "models":
+            out.append(("GET", "/v1/models", b""))
+        else:
+            out.append(("GET", "/metrics", b""))
+    return out
+
+
+async def run_load(server: ModelServer, *, total: int = 2000,
+                   concurrency: int = 32, seed: int = 0,
+                   mix: LoadMix | None = None) -> LoadStats:
+    """Issue ``total`` requests through ``server.handle`` and measure.
+
+    ``concurrency`` workers each run their slice of the stream
+    back-to-back (closed-loop), which is what exercises the micro-batcher:
+    at any instant up to ``concurrency`` predictions are pending and get
+    coalesced into vectorized evaluations.
+    """
+    if total < 1 or concurrency < 1:
+        raise ValueError(f"need total >= 1 and concurrency >= 1, "
+                         f"got {total}, {concurrency}")
+    mix = mix or LoadMix()
+    catalog = server.store.snapshot.catalog()
+    components = sorted({m.component for m in catalog})
+    modes: dict[str, list[str | None]] = {}
+    for m in catalog:
+        modes.setdefault(m.component, []).append(m.mode)
+
+    per = [total // concurrency + (1 if w < total % concurrency else 0)
+           for w in range(concurrency)]
+    # Generate every worker's stream before the clock starts: measured
+    # latency is the service's, not the generator's.
+    streams = [generate_requests(seed, w, per[w], components, modes, mix)
+               for w in range(concurrency)]
+    latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    errors = 0
+
+    async def worker(wid: int) -> None:
+        nonlocal errors
+        for method, path, body in streams[wid]:
+            t0 = now_us()
+            resp = await server.handle(method, path, body)
+            latencies.append(now_us() - t0)
+            status_counts[resp.status] = status_counts.get(resp.status, 0) + 1
+            if resp.status >= 400:
+                errors += 1
+
+    t_start = now_us()
+    await asyncio.gather(*(worker(w) for w in range(concurrency)))
+    duration = now_us() - t_start
+
+    lat = np.asarray(latencies, dtype=float)
+    return LoadStats(
+        requests=int(lat.size),
+        errors=errors,
+        duration_us=float(duration),
+        p50_us=float(np.percentile(lat, 50)),
+        p99_us=float(np.percentile(lat, 99)),
+        mean_us=float(lat.mean()),
+        latencies_us=tuple(float(x) for x in lat),
+        status_counts=status_counts,
+    )
+
+
+async def _amain(args: argparse.Namespace) -> LoadStats:
+    server = ModelServer(args.models, ServeConfig(
+        cache_capacity=args.cache_capacity,
+        bucket_per_decade=args.bucket_per_decade))
+    async with server:
+        return await run_load(server, total=args.requests,
+                              concurrency=args.concurrency, seed=args.seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Seeded in-process load generator for the model server")
+    ap.add_argument("--models", required=True,
+                    help="ModelRepository directory to serve")
+    ap.add_argument("--requests", type=int, default=2000)
+    ap.add_argument("--concurrency", type=int, default=32)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--cache-capacity", type=int, default=4096)
+    ap.add_argument("--bucket-per-decade", type=int, default=64)
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="also write the stats to this JSON file")
+    args = ap.parse_args(argv)
+    try:
+        stats = asyncio.run(_amain(args))
+    except (ValidationError, ValueError, OSError) as exc:
+        print(f"loadgen error: {exc}")
+        return 2
+    print(stats.format())
+    if args.json_out:
+        doc = {"requests": stats.requests, "errors": stats.errors,
+               "duration_us": stats.duration_us,
+               "throughput_rps": stats.throughput_rps,
+               "p50_us": stats.p50_us, "p99_us": stats.p99_us,
+               "mean_us": stats.mean_us,
+               "status_counts": {str(k): v for k, v in
+                                 sorted(stats.status_counts.items())}}
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if stats.errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,367 @@
+"""The serving application: routes, handlers and the asyncio HTTP front.
+
+Two layers, deliberately separable:
+
+* :class:`ModelServer` — the pure application.  ``await
+  server.handle(method, path, body)`` returns a :class:`Response`; no
+  sockets involved.  The load generator and the tests drive this layer
+  directly (in-process serving), so measured throughput is the service's
+  own cost, not loopback-TCP's.
+
+* :meth:`ModelServer.serve_http` — a minimal HTTP/1.1 front end on
+  ``asyncio`` streams (stdlib only): request line + headers +
+  Content-Length body, keep-alive, one task per connection.  Everything
+  it does is delegate to ``handle``.
+
+Endpoints::
+
+    GET  /healthz            liveness + model version
+    GET  /v1/models          model catalog
+    POST /v1/predict         one prediction
+    POST /v1/predict/batch   many predictions, one vectorized evaluation
+    POST /v1/optimize        assembly recommendation over stored candidates
+    GET  /metrics            Prometheus text exposition
+    GET  /metrics.json       the same registry as JSON
+
+Failure contract: malformed payloads are 400 with the offending field
+named; unknown models 404; no models loaded or queue full 503 with
+``Retry-After``; oversized bodies 413.  Every response from the model
+path carries ``model_version`` so clients can detect reloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+from repro.models.composite import CompositeModel, Workload
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.optimizer import AssemblyOptimizer
+from repro.serve.batching import LoadShedError, MicroBatcher
+from repro.serve.cache import PredictionCache, QBucketer
+from repro.serve.schema import (AssemblyChoice, BatchPredictRequest,
+                                BatchPredictResponse, OptimizeRequest,
+                                OptimizeResponse, PredictRequest,
+                                PredictResponse, ValidationError)
+from repro.serve.store import (ModelUnavailable, ServingModelStore,
+                               UnknownModel)
+from repro.util.timebase import Clock, now_us
+
+__all__ = ["Response", "ServeConfig", "ModelServer"]
+
+#: latency histogram buckets: 1 us .. 10 s, six per decade
+_LATENCY_BOUNDS = tuple(10.0 ** (k / 6.0) for k in range(43))
+
+
+@dataclass(frozen=True)
+class Response:
+    """One application-layer response (pre-serialization of HTTP)."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def json(cls, status: int, obj: Any,
+             headers: tuple[tuple[str, str], ...] = ()) -> "Response":
+        body = json.dumps(obj, sort_keys=True).encode() + b"\n"
+        return cls(status=status, body=body, headers=headers)
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              headers: tuple[tuple[str, str], ...] = ()) -> "Response":
+        return cls.json(status, {"error": message}, headers=headers)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the serving stack (defaults sized for the case study)."""
+
+    #: Q quantization resolution (buckets per decade); None = exact-Q keys
+    bucket_per_decade: int | None = 64
+    cache_capacity: int = 4096
+    #: prediction TTL in seconds; None = entries live until evicted
+    cache_ttl_s: float | None = None
+    max_batch: int = 512
+    queue_limit: int = 2048
+    reload_interval_s: float = 0.5
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: cap on ranked assemblies returned by /v1/optimize
+    optimize_top_max: int = 50
+
+
+_Handler = Callable[["ModelServer", bytes], Awaitable[Response]]
+
+
+class ModelServer:
+    """The serving application over one model repository directory."""
+
+    def __init__(self, models_dir: str, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 clock: Clock | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = ServingModelStore(models_dir)
+        ttl_us = (None if self.config.cache_ttl_s is None
+                  else self.config.cache_ttl_s * 1e6)
+        self.cache: PredictionCache = PredictionCache(
+            capacity=self.config.cache_capacity, ttl_us=ttl_us,
+            clock=clock, metrics=self.metrics)
+        self.batcher = MicroBatcher(
+            self.store, self.cache, QBucketer(self.config.bucket_per_decade),
+            metrics=self.metrics, max_batch=self.config.max_batch,
+            queue_limit=self.config.queue_limit)
+        self._stop = asyncio.Event()
+        self._watcher: asyncio.Task | None = None
+        self._routes: dict[tuple[str, str], _Handler] = {
+            ("GET", "/healthz"): ModelServer._handle_healthz,
+            ("GET", "/v1/models"): ModelServer._handle_models,
+            ("POST", "/v1/predict"): ModelServer._handle_predict,
+            ("POST", "/v1/predict/batch"): ModelServer._handle_predict_batch,
+            ("POST", "/v1/optimize"): ModelServer._handle_optimize,
+            ("GET", "/metrics"): ModelServer._handle_metrics_prom,
+            ("GET", "/metrics.json"): ModelServer._handle_metrics_json,
+        }
+
+    # --------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the batch dispatcher and the model-directory watcher."""
+        self._stop.clear()
+        self.batcher.start()
+        if self._watcher is None or self._watcher.done():
+            self._watcher = asyncio.get_running_loop().create_task(
+                self.store.watch(self.config.reload_interval_s,
+                                 stop=self._stop),
+                name="serve-watcher")
+
+    async def stop(self) -> None:
+        self._stop.set()
+        await self.batcher.stop()
+        if self._watcher is not None:
+            try:
+                await self._watcher
+            except asyncio.CancelledError:
+                pass
+            self._watcher = None
+
+    async def __aenter__(self) -> "ModelServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ----------------------------------------------------------- routing
+    async def handle(self, method: str, path: str,
+                     body: bytes = b"") -> Response:
+        """Dispatch one request; never raises (errors become responses)."""
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(p == path for (_m, p) in self._routes):
+                resp = Response.error(405, f"method {method} not allowed "
+                                           f"for {path}")
+            else:
+                resp = Response.error(404, f"no route for {method} {path}")
+        else:
+            t0 = now_us()
+            resp = await self._guarded(handler, body)
+            self.metrics.histogram(
+                "serve_latency_us", "request latency by route",
+                bounds=_LATENCY_BOUNDS, route=path).observe(now_us() - t0)
+            self.metrics.counter(
+                "serve_requests_total", "requests by route and status",
+                route=path, status=str(resp.status)).inc()
+        return resp
+
+    async def _guarded(self, handler: _Handler, body: bytes) -> Response:
+        retry_after = str(max(1, math.ceil(self.config.reload_interval_s)))
+        try:
+            return await handler(self, body)
+        except ValidationError as exc:
+            return Response.error(400, str(exc))
+        except UnknownModel as exc:
+            return Response.error(404, f"unknown model: {exc.args[0]}")
+        except ModelUnavailable:
+            return Response.error(
+                503, "no models loaded; repository is empty or reloading",
+                headers=(("Retry-After", retry_after),))
+        except LoadShedError as exc:
+            return Response.error(
+                503, str(exc), headers=(("Retry-After", "1"),))
+
+    @staticmethod
+    def _parse_json(body: bytes, where: str) -> Any:
+        try:
+            return json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{where}: body is not valid JSON "
+                                  f"({exc.msg} at pos {exc.pos})") from None
+
+    # ---------------------------------------------------------- handlers
+    async def _handle_healthz(self, body: bytes) -> Response:
+        snap = self.store.snapshot
+        ok = len(snap) > 0
+        return Response.json(200 if ok else 503, {
+            "status": "ok" if ok else "unavailable",
+            "model_version": snap.version,
+            "models": len(snap),
+            "reloads": self.store.reloads,
+        })
+
+    async def _handle_models(self, body: bytes) -> Response:
+        snap = self.store.snapshot
+        return Response.json(200, {
+            "model_version": snap.version,
+            "models": [m.to_obj() for m in snap.catalog()],
+        })
+
+    async def _handle_predict(self, body: bytes) -> Response:
+        req = PredictRequest.from_obj(
+            self._parse_json(body, "predict request"))
+        pred, version = await self.batcher.predict(req)
+        return Response.json(
+            200, PredictResponse(prediction=pred,
+                                 model_version=version).to_obj())
+
+    async def _handle_predict_batch(self, body: bytes) -> Response:
+        batch = BatchPredictRequest.from_obj(
+            self._parse_json(body, "batch predict request"))
+        results = await asyncio.gather(
+            *(self.batcher.predict(r) for r in batch.requests))
+        # All sub-requests of one batch must answer from one model set;
+        # a reload races the flushes only at the boundary between them.
+        versions = {version for _pred, version in results}
+        if len(versions) > 1:
+            return Response.error(
+                503, "model reload raced this batch; retry",
+                headers=(("Retry-After", "1"),))
+        return Response.json(200, BatchPredictResponse(
+            predictions=tuple(pred for pred, _v in results),
+            model_version=versions.pop()).to_obj())
+
+    async def _handle_optimize(self, body: bytes) -> Response:
+        req = OptimizeRequest.from_obj(
+            self._parse_json(body, "optimize request"))
+        snap = self.store.snapshot
+        if len(snap) == 0:
+            raise ModelUnavailable("no models loaded")
+        composite = CompositeModel()
+        candidates = {}
+        for spec in req.slots:
+            pool = snap.candidates(spec.slot)
+            if not pool:
+                return Response.error(
+                    404, f"no candidate models stored under functionality "
+                         f"{spec.slot!r}")
+            candidates[spec.slot] = pool
+            composite.add_node(spec.slot,
+                               Workload(spec.q_values, spec.counts),
+                               slot=spec.slot, comm_us=spec.comm_us)
+        optimizer = AssemblyOptimizer(composite, candidates)
+        try:
+            result = optimizer.optimize(qos_weight=req.qos_weight,
+                                        min_quality=req.min_quality)
+        except ValueError as exc:
+            return Response.error(400, f"optimize request: {exc}")
+        top = min(req.top, self.config.optimize_top_max)
+        choices = tuple(
+            AssemblyChoice(binding=ra.binding_names(), cost_us=ra.cost_us,
+                           quality=ra.quality, score=ra.score)
+            for ra in result.ranked[:top])
+        return Response.json(200, OptimizeResponse(
+            best=choices[0], ranked=choices,
+            search_space=optimizer.search_space_size(),
+            model_version=snap.version).to_obj())
+
+    async def _handle_metrics_prom(self, body: bytes) -> Response:
+        return Response(status=200, body=self.metrics.to_prometheus().encode(),
+                        content_type="text/plain; version=0.0.4")
+
+    async def _handle_metrics_json(self, body: bytes) -> Response:
+        return Response(status=200, body=self.metrics.to_json().encode())
+
+    # ------------------------------------------------------ HTTP front
+    async def serve_http(self, host: str = "127.0.0.1",
+                         port: int = 8077) -> "asyncio.base_events.Server":
+        """Open a listening socket; returns the asyncio server object."""
+        return await asyncio.start_server(self._client, host, port)
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await _read_request(
+                    reader, max_body=self.config.max_body_bytes)
+                if request is None:
+                    break
+                method, path, body, keep_alive, too_large = request
+                if too_large:
+                    resp = Response.error(413, "request body too large")
+                    keep_alive = False
+                else:
+                    resp = await self.handle(method, path, body)
+                writer.write(_render_response(resp, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # close raced the peer's reset
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                503: "Service Unavailable"}
+
+
+async def _read_request(reader: asyncio.StreamReader, max_body: int
+                        ) -> tuple[str, str, bytes, bool, bool] | None:
+    """Parse one HTTP/1.1 request; None on clean EOF before a request."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line or not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 3:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    headers: dict[str, str] = {}
+    while True:
+        hline = await reader.readline()
+        if not hline or hline in (b"\r\n", b"\n"):
+            break
+        name, _, value = hline.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        length = 0
+    if length > max_body:
+        # Drain nothing: answering 413 then closing is the contract.
+        return method, path, b"", False, True
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body, keep_alive, False
+
+
+def _render_response(resp: Response, keep_alive: bool) -> bytes:
+    reason = _STATUS_TEXT.get(resp.status, "Response")
+    lines = [f"HTTP/1.1 {resp.status} {reason}",
+             f"Content-Type: {resp.content_type}",
+             f"Content-Length: {len(resp.body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    lines += [f"{k}: {v}" for k, v in resp.headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + resp.body

@@ -1,0 +1,213 @@
+"""Hot-reloadable view of a :class:`~repro.models.serialize.ModelRepository`.
+
+The serving layer never reads model files per request.  Instead it holds
+an immutable :class:`ModelSnapshot` — every model in the repository
+directory, fully deserialized, plus a version stamp — and swaps the whole
+snapshot atomically when the directory changes.  A request captures one
+snapshot reference at dispatch and uses only that, so concurrent reloads
+can never produce a torn read: the version stamp in a response always
+names exactly the model set that computed it.
+
+Change detection is a fingerprint over ``(filename, mtime_ns, size)`` of
+the repository's ``*.json`` files; :meth:`ServingModelStore.refresh`
+rebuilds off to the side and publishes with a single reference
+assignment.  ``ModelRepository.store`` writes atomically (temp +
+``os.replace``), so a reload can never observe a half-written file.
+
+Per-mode models are recognized by the ``name[mode]`` convention that
+:func:`repro.models.permode.build_modal_model` produces: an impl stored
+as ``GodunovFlux[strided]`` serves ``(component="GodunovFlux",
+mode="strided")``; a plain name serves the pooled (mode=None) query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.models.performance import PerformanceModel
+from repro.models.serialize import model_from_dict
+from repro.serve.schema import ModelInfo
+
+__all__ = ["ModelUnavailable", "UnknownModel", "ModelSnapshot",
+           "ServingModelStore", "split_modal_name"]
+
+
+class ModelUnavailable(RuntimeError):
+    """No models are loaded (HTTP 503 + Retry-After)."""
+
+
+class UnknownModel(KeyError):
+    """The requested (component, mode) is not in the snapshot (HTTP 404)."""
+
+    def __init__(self, component: str, mode: str | None,
+                 available: list[str]) -> None:
+        self.component = component
+        self.mode = mode
+        self.available = available
+        detail = f"component={component!r} mode={mode!r}"
+        if available:
+            detail += f"; available: {', '.join(available)}"
+        super().__init__(detail)
+
+
+def split_modal_name(impl_name: str) -> tuple[str, str | None]:
+    """``"X[m]"`` -> ``("X", "m")``; plain names -> ``(name, None)``."""
+    if impl_name.endswith("]") and "[" in impl_name:
+        base, _, mode = impl_name[:-1].partition("[")
+        if base and mode:
+            return base, mode
+    return impl_name, None
+
+
+@dataclass(frozen=True)
+class _Entry:
+    functionality: str
+    model: PerformanceModel
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """An immutable, versioned model set.
+
+    ``generation`` increments on every swap (cache-key component);
+    ``version`` additionally carries a content hash so two distinct model
+    sets can never share a stamp even across server restarts.
+    """
+
+    generation: int
+    fingerprint: str
+    by_key: Mapping[tuple[str, str | None], _Entry] = field(default_factory=dict)
+
+    @property
+    def version(self) -> str:
+        return f"g{self.generation}-{self.fingerprint[:10]}"
+
+    def __len__(self) -> int:
+        return len(self.by_key)
+
+    def lookup(self, component: str, mode: str | None) -> PerformanceModel:
+        """Model for ``(component, mode)`` or :class:`UnknownModel`."""
+        if not self.by_key:
+            raise ModelUnavailable("no models loaded")
+        entry = self.by_key.get((component, mode))
+        if entry is None:
+            available = sorted(
+                c if m is None else f"{c}[{m}]"
+                for c, m in self.by_key if c == component)
+            raise UnknownModel(component, mode, available)
+        return entry.model
+
+    def candidates(self, functionality: str) -> list[PerformanceModel]:
+        """All models stored under one functionality (optimizer input)."""
+        return [e.model for (_c, _m), e in sorted(self.by_key.items())
+                if e.functionality == functionality]
+
+    def catalog(self) -> list[ModelInfo]:
+        """Sorted catalog entries for ``GET /v1/models``."""
+        out = []
+        for (component, mode), entry in sorted(
+                self.by_key.items(), key=lambda kv: (kv[0][0], kv[0][1] or "")):
+            out.append(ModelInfo(
+                component=component, mode=mode,
+                functionality=entry.functionality,
+                family=entry.model.mean_fit.family,
+                r2=entry.model.mean_fit.r2,
+                quality=entry.model.quality,
+                context=dict(entry.model.context)))
+        return out
+
+
+def _fingerprint(directory: str) -> str:
+    """Digest of the repository's file listing (names, mtimes, sizes)."""
+    h = hashlib.sha256()
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return "absent"
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            continue  # deleted between listdir and stat; next poll catches it
+        h.update(f"{name}:{st.st_mtime_ns}:{st.st_size};".encode())
+    return h.hexdigest()
+
+
+def _load_entries(directory: str) -> dict[tuple[str, str | None], _Entry]:
+    entries: dict[tuple[str, str | None], _Entry] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return entries
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload: dict[str, Any] = json.load(fh)
+            model = model_from_dict(payload["model"])
+            functionality = str(payload.get("functionality", ""))
+        except (OSError, ValueError, KeyError, TypeError):
+            # A foreign or malformed file must not take serving down; the
+            # rest of the repository still loads.  (Half-written files are
+            # impossible: ModelRepository.store is atomic.)
+            continue
+        key = split_modal_name(model.name)
+        entries[key] = _Entry(functionality=functionality, model=model)
+    return entries
+
+
+class ServingModelStore:
+    """Directory watcher publishing atomic :class:`ModelSnapshot` swaps."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.reloads = 0
+        self._snapshot = ModelSnapshot(generation=0, fingerprint="unloaded")
+        self.refresh()
+
+    @property
+    def snapshot(self) -> ModelSnapshot:
+        """The current snapshot (capture once per request, then use only it)."""
+        return self._snapshot
+
+    def refresh(self) -> bool:
+        """Reload if the directory changed; returns True when swapped.
+
+        The new snapshot is fully constructed before the single reference
+        assignment below — readers see either the complete old set or the
+        complete new one, never a mixture.
+        """
+        fp = _fingerprint(self.directory)
+        if fp == self._snapshot.fingerprint:
+            return False
+        entries = _load_entries(self.directory)
+        new = ModelSnapshot(generation=self._snapshot.generation + 1,
+                            fingerprint=fp, by_key=entries)
+        self._snapshot = new
+        self.reloads += 1
+        return True
+
+    async def watch(self, interval_s: float = 0.5,
+                    stop: asyncio.Event | None = None) -> None:
+        """Poll the directory until ``stop`` is set (or forever)."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        while stop is None or not stop.is_set():
+            self.refresh()
+            try:
+                if stop is None:
+                    await asyncio.sleep(interval_s)
+                else:
+                    await asyncio.wait_for(stop.wait(), timeout=interval_s)
+            except asyncio.TimeoutError:
+                continue

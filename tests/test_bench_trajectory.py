@@ -77,3 +77,84 @@ def test_cli_check(path, tmp_path, capsys):
                        "--tolerance", "0.6"]) == 0
     report = format_report(load(path), load(cur), [])
     assert "a_us" in report
+
+
+# ------------------------------------------------- schema 2: sampled cells
+def test_summarize_samples_is_seeded_and_sane():
+    from repro.bench import summarize_samples
+
+    samples = [10.0, 12.0, 11.0, 14.0, 13.0, 11.5, 12.5, 10.5]
+    med_a, ci_a = summarize_samples(samples, seed=0)
+    med_b, ci_b = summarize_samples(samples, seed=0)
+    assert (med_a, ci_a) == (med_b, ci_b)  # same seed, same bootstrap
+    assert ci_a[0] <= med_a <= ci_a[1]
+    assert min(samples) <= ci_a[0] and ci_a[1] <= max(samples)
+    med_c, _ci_c = summarize_samples(samples, seed=1)
+    assert med_c == med_a  # the median itself is not resampled
+
+
+def test_summarize_samples_rejects_empty():
+    from repro.bench import summarize_samples
+
+    with pytest.raises(ValueError, match="sample"):
+        summarize_samples([])
+
+
+def test_record_cell_samples_roundtrip(path):
+    from repro.bench import record_cell_samples
+
+    samples = [100.0, 140.0, 120.0, 110.0, 130.0]
+    record_cell_samples(path, "lat_us", samples, meta={"conc": 8})
+    c = load(path)["lat_us"]
+    assert c.median == 120.0
+    assert c.value == 120.0  # gating value is the median
+    assert c.n_samples == 5
+    assert c.ci95 is not None and c.ci95[0] <= 120.0 <= c.ci95[1]
+    assert c.meta == {"conc": 8}
+    # Raw JSON carries the stats fields under schema 2.
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == 2
+    assert doc["cells"]["lat_us"]["n_samples"] == 5
+
+
+def test_record_cell_samples_consumes_iterators_once(path):
+    from repro.bench import record_cell_samples
+
+    record_cell_samples(path, "g_us", (float(x) for x in (3, 1, 2)))
+    c = load(path)["g_us"]
+    assert c.median == 2.0 and c.n_samples == 3
+
+
+def test_gating_value_prefers_median():
+    assert Cell(999.0).gating_value == 999.0
+    assert Cell(999.0, median=120.0).gating_value == 120.0
+
+
+def test_compare_uses_median_not_value():
+    base = {"lat_us": Cell(100.0)}
+    # Mean-ish value regressed, median did not: no regression flagged.
+    cur = {"lat_us": Cell(500.0, median=105.0)}
+    assert compare(base, cur) == []
+    # Median regressed even though value looks fine: flagged.
+    cur = {"lat_us": Cell(100.0, median=130.0)}
+    assert [r.name for r in compare(base, cur)] == ["lat_us"]
+
+
+def test_schema_1_files_still_load(tmp_path):
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps({
+        "schema": 1,
+        "cells": {"a_us": {"value": 10.0, "unit": "us", "gate": True,
+                           "higher_is_better": False, "meta": {}}}}))
+    cells = load(str(old))
+    assert cells["a_us"].value == 10.0
+    assert cells["a_us"].median is None
+
+
+def test_format_report_shows_stats():
+    cells = {"lat_us": Cell(120.0, median=120.0, ci95=(110.0, 130.0),
+                            n_samples=50)}
+    report = format_report(cells, cells, [])
+    assert "n=50" in report
+    assert "110" in report and "130" in report

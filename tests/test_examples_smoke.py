@@ -76,3 +76,14 @@ def test_remaining_examples_parse():
     for name in ("assembly_optimization.py", "online_monitoring.py"):
         path = os.path.join(EXAMPLES, name)
         compile(open(path).read(), path, "exec")
+
+
+def test_model_serving_small():
+    out = run_example("model_serving.py", "--points", "3", "--qmax", "20000",
+                      "--requests", "300", "--concurrency", "8")
+    assert "healthz: ok" in out
+    assert "best binding" in out
+    assert "hot reload: version g1-" in out
+    assert "-> g2-" in out
+    assert "errors 0" in out
+    assert "hit rate" in out

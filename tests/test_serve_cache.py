@@ -1,0 +1,132 @@
+"""Prediction-cache semantics: LRU order, TTL expiry, counters, bucketing."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import PredictionCache, QBucketer
+
+
+class FakeClock:
+    """Explicitly advanced clock for TTL tests (microseconds)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestLRU:
+    def test_eviction_is_lru_order(self):
+        cache = PredictionCache(capacity=3)
+        for k in ("a", "b", "c"):
+            cache.put(k, k.upper())
+        assert cache.keys() == ["a", "b", "c"]
+        # Touch "a": it becomes most-recent, "b" is now the LRU victim.
+        assert cache.get("a") == "A"
+        cache.put("d", "D")
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        assert cache.get("d") == "D"
+        assert cache.evictions == 1
+
+    def test_eviction_cascade_preserves_order(self):
+        cache = PredictionCache(capacity=4)
+        for i in range(4):
+            cache.put(i, i)
+        cache.get(0)  # order now 1, 2, 3, 0
+        cache.put(4, 4)
+        cache.put(5, 5)
+        assert cache.get(1) is None
+        assert cache.get(2) is None
+        assert cache.get(3) == 3
+        assert cache.get(0) == 0
+
+    def test_put_refreshes_recency(self):
+        cache = PredictionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put moves "a" to MRU; "b" becomes victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PredictionCache(capacity=0)
+
+
+class TestTTL:
+    def test_expiry_counts_separately_from_eviction(self):
+        clock = FakeClock()
+        cache = PredictionCache(capacity=8, ttl_us=100.0, clock=clock)
+        cache.put("k", "v")
+        clock.t = 99.0
+        assert cache.get("k") == "v"
+        clock.t = 100.0
+        assert cache.get("k") is None
+        assert cache.expiries == 1
+        assert cache.evictions == 0
+        assert len(cache) == 0
+
+    def test_reput_restarts_ttl(self):
+        clock = FakeClock()
+        cache = PredictionCache(capacity=8, ttl_us=100.0, clock=clock)
+        cache.put("k", "v1")
+        clock.t = 80.0
+        cache.put("k", "v2")
+        clock.t = 150.0  # 70us after the re-put: still fresh
+        assert cache.get("k") == "v2"
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        cache = PredictionCache(capacity=2, clock=clock)
+        cache.put("k", "v")
+        clock.t = 1e12
+        assert cache.get("k") == "v"
+
+    def test_ttl_validated(self):
+        with pytest.raises(ValueError, match="ttl_us"):
+            PredictionCache(ttl_us=0.0)
+
+
+def test_metrics_counters_flow_to_registry():
+    metrics = MetricsRegistry()
+    cache = PredictionCache(capacity=1, metrics=metrics)
+    cache.get("miss")
+    cache.put("a", 1)
+    cache.get("a")
+    cache.put("b", 2)  # evicts "a"
+    assert metrics.counter("serve_cache_misses_total").value == 1
+    assert metrics.counter("serve_cache_hits_total").value == 1
+    assert metrics.counter("serve_cache_evictions_total").value == 1
+    assert metrics.gauge("serve_cache_entries").value == 1
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+class TestQBucketer:
+    def test_identity_when_disabled(self):
+        b = QBucketer(per_decade=None)
+        assert b.bucket(512.3) == 512.3
+
+    def test_nearby_values_share_a_bucket(self):
+        b = QBucketer(per_decade=64)
+        assert b.bucket(1000.0) == b.bucket(1004.0)
+        assert b.bucket(1000.0) != b.bucket(1100.0)
+
+    def test_representative_is_close(self):
+        b = QBucketer(per_decade=64)
+        for q in (1.0, 512.0, 3.3e4, 9.99e5):
+            rep = b.bucket(q)
+            assert abs(math.log10(rep / q)) <= 0.5 / 64 + 1e-12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="workload"):
+            QBucketer().bucket(0.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError, match="per_decade"):
+            QBucketer(per_decade=0)

@@ -1,0 +1,109 @@
+"""Load generator: seeded determinism, stats, CLI."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.models.fits import fit_linear
+from repro.models.performance import PerformanceModel
+from repro.models.serialize import ModelRepository
+from repro.serve.loadgen import (LoadMix, generate_requests, main, run_load)
+from repro.serve.server import ModelServer
+
+Q = np.array([1e3, 1e4, 1e5])
+
+
+@pytest.fixture
+def models_dir(tmp_path):
+    repo = ModelRepository(str(tmp_path))
+    repo.store("flux", PerformanceModel("Flux", fit_linear(Q, 0.3 * Q)))
+    repo.store("states", PerformanceModel(
+        "States[strided]", fit_linear(Q, 0.2 * Q)))
+    return str(tmp_path)
+
+
+COMPONENTS = ["Flux", "States"]
+MODES = {"Flux": [None], "States": ["strided"]}
+
+
+class TestGenerateRequests:
+    def test_same_seed_same_stream(self):
+        a = generate_requests(7, 0, 50, COMPONENTS, MODES, LoadMix())
+        b = generate_requests(7, 0, 50, COMPONENTS, MODES, LoadMix())
+        assert a == b
+
+    def test_workers_draw_distinct_streams(self):
+        a = generate_requests(7, 0, 50, COMPONENTS, MODES, LoadMix())
+        b = generate_requests(7, 1, 50, COMPONENTS, MODES, LoadMix())
+        assert a != b
+
+    def test_seed_changes_the_stream(self):
+        a = generate_requests(7, 0, 50, COMPONENTS, MODES, LoadMix())
+        b = generate_requests(8, 0, 50, COMPONENTS, MODES, LoadMix())
+        assert a != b
+
+    def test_mix_is_respected(self):
+        only_predict = LoadMix(predict=1.0, batch=0.0, models=0.0,
+                               metrics=0.0)
+        stream = generate_requests(0, 0, 40, COMPONENTS, MODES, only_predict)
+        assert all(path == "/v1/predict" for _m, path, _b in stream)
+        bodies = [json.loads(b) for _m, _p, b in stream]
+        assert all(LoadMix().q_lo <= d["q"] <= LoadMix().q_hi for d in bodies)
+
+    def test_no_components_rejected(self):
+        with pytest.raises(ValueError, match="at least one component"):
+            generate_requests(0, 0, 10, [], {}, LoadMix())
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            LoadMix(predict=0.0, batch=0.0, models=0.0, metrics=0.0).weights()
+        with pytest.raises(ValueError, match="weights"):
+            LoadMix(predict=-1.0).weights()
+
+
+def test_run_load_counts_and_stats(models_dir):
+    server = ModelServer(models_dir)
+
+    async def main_():
+        async with server:
+            return await run_load(server, total=150, concurrency=8, seed=3)
+
+    stats = asyncio.run(main_())
+    assert stats.requests == 150
+    assert stats.errors == 0
+    assert stats.status_counts == {200: 150}
+    assert len(stats.latencies_us) == 150
+    assert stats.p50_us <= stats.p99_us
+    assert stats.throughput_rps > 0
+    assert "throughput" in stats.format()
+
+
+def test_run_load_validates_args(models_dir):
+    server = ModelServer(models_dir)
+    with pytest.raises(ValueError, match="total >= 1"):
+        asyncio.run(run_load(server, total=0))
+
+
+def test_cli_writes_json_and_exits_zero(models_dir, tmp_path, capsys):
+    out = tmp_path / "stats.json"
+    rc = main(["--models", models_dir, "--requests", "120",
+               "--concurrency", "8", "--seed", "1", "--json", str(out)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "throughput" in printed
+    doc = json.loads(out.read_text())
+    assert doc["requests"] == 120
+    assert doc["errors"] == 0
+    assert doc["throughput_rps"] > 0
+    assert doc["p50_us"] <= doc["p99_us"]
+
+
+def test_cli_missing_models_dir_reports_error(tmp_path, capsys):
+    # An empty repository has no components to draw load for: the CLI
+    # reports the error and exits 2 instead of crashing.
+    rc = main(["--models", str(tmp_path / "empty"), "--requests", "10",
+               "--concurrency", "2"])
+    assert rc == 2
+    assert "at least one component" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Request/response schema validation: every 400 path, plus round-trips."""
+
+import pytest
+
+from repro.serve.schema import (MAX_BATCH_REQUESTS, BatchPredictRequest,
+                                OptimizeRequest, Prediction, PredictRequest,
+                                SlotSpec, ValidationError)
+
+
+class TestPredictRequest:
+    def test_minimal(self):
+        req = PredictRequest.from_obj({"component": "Flux", "q": 1e4})
+        assert req == PredictRequest(component="Flux", q=1e4, mode=None)
+
+    def test_with_mode(self):
+        req = PredictRequest.from_obj(
+            {"component": "Flux", "q": 2, "mode": "strided"})
+        assert req.mode == "strided"
+        assert req.q == 2.0
+
+    def test_explicit_null_mode_is_none(self):
+        assert PredictRequest.from_obj(
+            {"component": "F", "q": 1, "mode": None}).mode is None
+
+    @pytest.mark.parametrize("obj, fragment", [
+        (None, "expected a JSON object"),
+        ([1, 2], "expected a JSON object"),
+        ({}, "missing required key 'component'"),
+        ({"component": ""}, "non-empty string"),
+        ({"component": 7, "q": 1}, "non-empty string"),
+        ({"component": "F"}, "missing required key 'q'"),
+        ({"component": "F", "q": "big"}, "must be a number"),
+        ({"component": "F", "q": True}, "must be a number"),
+        ({"component": "F", "q": 0}, "must be > 0"),
+        ({"component": "F", "q": float("nan")}, "must be finite"),
+        ({"component": "F", "q": float("inf")}, "must be finite"),
+        ({"component": "F", "q": 1, "mode": ""}, "non-empty string"),
+    ])
+    def test_rejects(self, obj, fragment):
+        with pytest.raises(ValidationError, match="predict request"):
+            try:
+                PredictRequest.from_obj(obj)
+            except ValidationError as exc:
+                assert fragment in str(exc)
+                raise
+
+
+class TestBatchPredictRequest:
+    def test_roundtrip(self):
+        batch = BatchPredictRequest.from_obj({"requests": [
+            {"component": "A", "q": 1}, {"component": "B", "q": 2}]})
+        assert [r.component for r in batch.requests] == ["A", "B"]
+
+    def test_error_message_indexes_the_bad_entry(self):
+        with pytest.raises(ValidationError, match=r"\[1\]"):
+            BatchPredictRequest.from_obj({"requests": [
+                {"component": "A", "q": 1}, {"component": "B"}]})
+
+    @pytest.mark.parametrize("obj", [
+        {}, {"requests": None}, {"requests": "nope"}, {"requests": []},
+    ])
+    def test_rejects_shapes(self, obj):
+        with pytest.raises(ValidationError):
+            BatchPredictRequest.from_obj(obj)
+
+    def test_caps_batch_size(self):
+        too_many = [{"component": "A", "q": 1}] * (MAX_BATCH_REQUESTS + 1)
+        with pytest.raises(ValidationError, match="at most"):
+            BatchPredictRequest.from_obj({"requests": too_many})
+
+
+class TestSlotSpec:
+    def test_counts_default_to_ones(self):
+        spec = SlotSpec.from_obj({"slot": "flux", "q_values": [1.0, 2.0]},
+                                 "slots[0]")
+        assert spec.counts == (1, 1)
+        assert spec.comm_us == 0.0
+
+    def test_full(self):
+        spec = SlotSpec.from_obj(
+            {"slot": "flux", "q_values": [1.0, 2.0], "counts": [3, 4],
+             "comm_us": 12.5}, "slots[0]")
+        assert spec == SlotSpec(slot="flux", q_values=(1.0, 2.0),
+                                counts=(3, 4), comm_us=12.5)
+
+    @pytest.mark.parametrize("obj, fragment", [
+        ({"slot": "s"}, "q_values"),
+        ({"slot": "s", "q_values": []}, "non-empty"),
+        ({"slot": "s", "q_values": [0.0]}, "must be > 0"),
+        ({"slot": "s", "q_values": [1.0], "counts": [1, 2]}, "matching"),
+        ({"slot": "s", "q_values": [1.0], "counts": [-1]}, ">= 0"),
+        ({"slot": "s", "q_values": [1.0], "comm_us": -5}, ">= 0"),
+    ])
+    def test_rejects(self, obj, fragment):
+        with pytest.raises(ValidationError) as exc:
+            SlotSpec.from_obj(obj, "slots[0]")
+        assert fragment in str(exc.value)
+
+
+class TestOptimizeRequest:
+    def test_defaults(self):
+        req = OptimizeRequest.from_obj({"slots": [
+            {"slot": "flux", "q_values": [1.0]}]})
+        assert req.qos_weight == 0.0
+        assert req.min_quality is None
+        assert req.top == 5
+
+    def test_duplicate_slots_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate slot"):
+            OptimizeRequest.from_obj({"slots": [
+                {"slot": "flux", "q_values": [1.0]},
+                {"slot": "flux", "q_values": [2.0]}]})
+
+    @pytest.mark.parametrize("extra, fragment", [
+        ({"qos_weight": -1}, ">= 0"),
+        ({"min_quality": -0.5}, ">= 0"),
+        ({"top": 0}, "> 0"),
+    ])
+    def test_rejects_knobs(self, extra, fragment):
+        obj = {"slots": [{"slot": "flux", "q_values": [1.0]}], **extra}
+        with pytest.raises(ValidationError) as exc:
+            OptimizeRequest.from_obj(obj)
+        assert fragment in str(exc.value)
+
+
+def test_prediction_to_obj_is_json_plain():
+    pred = Prediction(component="F", mode=None, q=1.5, q_bucket=1.5,
+                      mean_us=10.0, std_us=1.0, model="F", cached=False)
+    obj = pred.to_obj()
+    assert obj["component"] == "F"
+    assert obj["mode"] is None
+    assert obj["cached"] is False
+    assert set(obj) == {"component", "mode", "q", "q_bucket", "mean_us",
+                        "std_us", "model", "cached"}

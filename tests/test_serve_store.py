@@ -1,0 +1,182 @@
+"""Model-snapshot store: loading, versioning, hot-reload atomicity."""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.models.fits import fit_constant, fit_linear
+from repro.models.performance import PerformanceModel
+from repro.models.serialize import ModelRepository
+from repro.serve.store import (ModelUnavailable, ServingModelStore,
+                               UnknownModel, split_modal_name)
+
+Q = np.array([1e3, 1e4, 1e5])
+
+
+def constant_model(name: str, value: float, quality: float = 1.0) -> PerformanceModel:
+    return PerformanceModel(name, fit_constant([0.0, 1.0], [value, value]),
+                            quality=quality)
+
+
+def linear_model(name: str, slope: float) -> PerformanceModel:
+    return PerformanceModel(name, fit_linear(Q, slope * Q))
+
+
+def test_split_modal_name():
+    assert split_modal_name("GodunovFlux[strided]") == ("GodunovFlux", "strided")
+    assert split_modal_name("States") == ("States", None)
+    assert split_modal_name("odd[") == ("odd[", None)
+    assert split_modal_name("[m]") == ("[m]", None)
+
+
+def test_snapshot_lookup_and_catalog(tmp_path):
+    repo = ModelRepository(str(tmp_path))
+    repo.store("flux", linear_model("GodunovFlux[strided]", 0.3))
+    repo.store("flux", linear_model("GodunovFlux[sequential]", 0.2))
+    repo.store("states", linear_model("States", 0.1))
+    store = ServingModelStore(str(tmp_path))
+    snap = store.snapshot
+    assert len(snap) == 3
+    assert snap.lookup("GodunovFlux", "strided").name == "GodunovFlux[strided]"
+    assert snap.lookup("States", None).name == "States"
+    assert [m.name for m in snap.candidates("flux")] == [
+        "GodunovFlux[sequential]", "GodunovFlux[strided]"]
+    cat = snap.catalog()
+    assert [(m.component, m.mode) for m in cat] == [
+        ("GodunovFlux", "sequential"), ("GodunovFlux", "strided"),
+        ("States", None)]
+    assert all(c.functionality in ("flux", "states") for c in cat)
+
+
+def test_unknown_model_names_alternatives(tmp_path):
+    repo = ModelRepository(str(tmp_path))
+    repo.store("flux", linear_model("GodunovFlux[strided]", 0.3))
+    snap = ServingModelStore(str(tmp_path)).snapshot
+    with pytest.raises(UnknownModel) as exc:
+        snap.lookup("GodunovFlux", "blockwise")
+    assert "GodunovFlux[strided]" in str(exc.value)
+    with pytest.raises(UnknownModel):
+        snap.lookup("NoSuchComponent", None)
+
+
+def test_empty_directory_serves_nothing(tmp_path):
+    store = ServingModelStore(str(tmp_path))
+    with pytest.raises(ModelUnavailable):
+        store.snapshot.lookup("X", None)
+    assert store.snapshot.generation == 1  # initial load counts
+
+
+def test_missing_directory_is_unavailable_not_crash(tmp_path):
+    store = ServingModelStore(str(tmp_path / "never-created"))
+    assert len(store.snapshot) == 0
+
+
+def test_malformed_file_does_not_poison_the_rest(tmp_path):
+    repo = ModelRepository(str(tmp_path))
+    repo.store("flux", linear_model("Good", 0.3))
+    (tmp_path / "junk__broken.json").write_text("{not json", encoding="utf-8")
+    (tmp_path / "other__shape.json").write_text(
+        json.dumps({"unexpected": True}), encoding="utf-8")
+    snap = ServingModelStore(str(tmp_path)).snapshot
+    assert len(snap) == 1
+    assert snap.lookup("Good", None).name == "Good"
+
+
+def test_refresh_detects_change_and_bumps_version(tmp_path):
+    repo = ModelRepository(str(tmp_path))
+    repo.store("flux", constant_model("C", 100.0))
+    store = ServingModelStore(str(tmp_path))
+    v1 = store.snapshot.version
+    assert not store.refresh()  # unchanged directory: no swap
+    assert store.snapshot.version == v1
+
+    path = repo.store("flux", constant_model("C", 200.0))
+    # mtime granularity can hide same-size rewrites on coarse filesystems;
+    # nudge it explicitly the way a slow writer would appear.
+    st = os.stat(path)
+    os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+    assert store.refresh()
+    v2 = store.snapshot.version
+    assert v2 != v1
+    assert store.snapshot.lookup("C", None).predict_mean(1e4) == 200.0
+    assert store.reloads == 2  # initial load + one swap
+
+
+def test_snapshot_capture_is_stable_across_reload(tmp_path):
+    """A captured snapshot keeps answering from the old model set."""
+    repo = ModelRepository(str(tmp_path))
+    path = repo.store("flux", constant_model("C", 100.0))
+    store = ServingModelStore(str(tmp_path))
+    captured = store.snapshot
+    repo.store("flux", constant_model("C", 200.0))
+    st = os.stat(path)
+    os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+    store.refresh()
+    assert captured.lookup("C", None).predict_mean(1.0) == 100.0
+    assert store.snapshot.lookup("C", None).predict_mean(1.0) == 200.0
+    assert captured.version != store.snapshot.version
+
+
+def test_hot_reload_never_tears_under_concurrent_readers(tmp_path):
+    """The no-torn-model invariant, asserted under concurrent load.
+
+    A writer flips the repository between model sets while the watcher
+    reloads and readers predict continuously.  For every version stamp
+    observed, all predictions carrying that stamp must agree — a torn
+    snapshot (half old set, half new) would surface as one stamp mapping
+    to two different values for the same component.
+    """
+    repo = ModelRepository(str(tmp_path))
+    values = (100.0, 200.0)
+    repo.store("flux", constant_model("A", values[0]))
+    repo.store("flux", constant_model("B", values[0] + 1))
+    store = ServingModelStore(str(tmp_path))
+    observed: list[tuple[str, str, float]] = []
+
+    async def main():
+        stop = asyncio.Event()
+        watcher = asyncio.create_task(store.watch(0.002, stop=stop))
+
+        async def writer():
+            for flip in range(1, 9):
+                v = values[flip % 2]
+                for name, offset in (("A", 0.0), ("B", 1.0)):
+                    path = repo.store("flux", constant_model(name, v + offset))
+                    st = os.stat(path)
+                    os.utime(path, ns=(st.st_atime_ns,
+                                       st.st_mtime_ns + flip * 1_000_000))
+                await asyncio.sleep(0.004)
+
+        async def reader():
+            for _ in range(120):
+                snap = store.snapshot  # capture once, use only this
+                for comp in ("A", "B"):
+                    try:
+                        val = float(snap.lookup(comp, None).predict_mean(1.0))
+                    except (UnknownModel, ModelUnavailable):
+                        continue
+                    observed.append((snap.version, comp, val))
+                await asyncio.sleep(0)
+
+        await asyncio.gather(writer(), *(reader() for _ in range(4)))
+        stop.set()
+        await watcher
+
+    asyncio.run(main())
+
+    by_stamp: dict[tuple[str, str], set[float]] = {}
+    for version, comp, val in observed:
+        by_stamp.setdefault((version, comp), set()).add(val)
+    torn = {k: v for k, v in by_stamp.items() if len(v) > 1}
+    assert not torn, f"version stamps served multiple model sets: {torn}"
+    assert len({v for v, _c, _x in observed}) >= 2, \
+        "reload never happened during the load window"
+
+
+def test_watch_validates_interval(tmp_path):
+    store = ServingModelStore(str(tmp_path))
+    with pytest.raises(ValueError, match="interval_s"):
+        asyncio.run(store.watch(0.0))
