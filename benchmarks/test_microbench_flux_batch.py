@@ -10,14 +10,20 @@ vector-width economics.
 Run with ``BENCH_SMOKE=1`` for a single-repeat CI smoke pass.
 """
 
+import os
+
 import numpy as np
 from conftest import median_us, write_out
 
+from repro.bench import record_cell
 from repro.euler.efm import EFMKernel
 from repro.euler.godunov import GodunovKernel
 from repro.euler.states import StatesKernel
 from repro.harness.sweeps import synthetic_patch_stack
 from repro.util.tabular import format_table
+
+TRAJECTORY = os.path.join(os.path.dirname(__file__), "out",
+                          "BENCH_kernels.json")
 
 SIZES = (64, 128, 256, 512)
 EQUIV_TOL = 1.0e-12
@@ -39,6 +45,7 @@ def test_microbench_flux_batch(benchmark, out_dir, smoke):
     states = StatesKernel()
     rows = []
     speedups = {}
+    walls_us = {}
     for n in SIZES:
         U = synthetic_patch_stack(n * n)
         for mode in ("x", "y"):
@@ -59,6 +66,7 @@ def test_microbench_flux_batch(benchmark, out_dir, smoke):
                 assert maxdiff <= EQUIV_TOL, (name, n, mode, maxdiff)
                 speedup = t_line / t_batch
                 speedups[(name, n, mode)] = speedup
+                walls_us[(name, n, mode)] = (t_line, t_batch)
                 rows.append((name, f"{n}x{n}", mode, f"{t_line / 1e3:.2f}",
                              f"{t_batch / 1e3:.2f}", f"{speedup:.2f}x",
                              f"{maxdiff:.1e}"))
@@ -76,6 +84,25 @@ def test_microbench_flux_batch(benchmark, out_dir, smoke):
     # the direction — single repeats are too noisy for a tight bar.
     floor = 1.5 if smoke else 3.0
     assert speedups[("Godunov", 256, "x")] >= floor, speedups
+
+    # BENCH_kernels trajectory: the speedup ratio is the gated cell (a
+    # dimensionless ratio is stable across CI machines; raw walls are
+    # machine-speed, so they ride along as ungated trend cells).
+    record_cell(TRAJECTORY, "godunov_batch_speedup_256x",
+                speedups[("Godunov", 256, "x")], unit="x",
+                higher_is_better=True, gate=True,
+                meta={"note": "committed baseline is a conservative floor, "
+                              "not a measurement"})
+    record_cell(TRAJECTORY, "efm_batch_speedup_256x",
+                speedups[("EFM", 256, "x")], unit="x",
+                higher_is_better=True, gate=False)
+    for kernel in ("Godunov", "EFM"):
+        t_line, t_batch = walls_us[(kernel, 256, "x")]
+        record_cell(TRAJECTORY, f"{kernel.lower()}_256x_perline_us", t_line,
+                    unit="us", gate=False)
+        record_cell(TRAJECTORY, f"{kernel.lower()}_256x_batched_us", t_batch,
+                    unit="us", gate=False)
+
     benchmark.extra_info["godunov_256_speedup_x"] = round(
         speedups[("Godunov", 256, "x")], 2)
     benchmark.extra_info["godunov_256_speedup_y"] = round(

@@ -28,6 +28,14 @@ from typing import Iterable, Sequence
 #: sanctioned (path suffix match, POSIX-style)
 RA002_SANCTIONED = ("repro/util/timebase.py", "repro/util/rng.py")
 
+#: reporter modules where RA007's no-print rule does not apply: CLI entry
+#: points and human-facing report/loadgen output (path suffix match)
+RA007_SANCTIONED = (
+    "__main__.py",
+    "repro/harness/report.py",
+    "repro/serve/loadgen.py",
+)
+
 _NOQA_RE = re.compile(r"#\s*ra:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
 

@@ -11,6 +11,8 @@ RA003     uses-port declared but never fetched, or an assembly script
 RA004     mutable default argument
 RA005     bare or over-broad ``except``
 RA006     MPI call inside a per-cell (nested) loop — perf smell
+RA007     direct ``print`` outside reporter modules — route through
+          structured logs / metrics instead
 ========  ==================================================================
 
 Rules are deliberately conservative: dynamic names (non-literal timer or
@@ -23,7 +25,8 @@ import ast
 from collections import Counter
 from typing import Iterator
 
-from repro.analysis.lint import RA002_SANCTIONED, FileContext, Finding
+from repro.analysis.lint import (RA002_SANCTIONED, RA007_SANCTIONED,
+                                 FileContext, Finding)
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -378,10 +381,47 @@ class MPIInLoopRule(Rule):
         return findings
 
 
+class PrintRule(Rule):
+    """RA007: a direct ``print`` call outside a sanctioned reporter.
+
+    Library code that prints bypasses every observability surface this
+    repo built — the output is invisible to metrics, spans, the flight
+    recorder and the live endpoints, and it corrupts machine-readable
+    stdout (the JSON/markdown reporters).  Route events through
+    ``RankObs.log`` / metrics; human-facing output belongs in the
+    ``__main__`` CLIs and the report/loadgen modules
+    (:data:`~repro.analysis.lint.RA007_SANCTIONED`).
+
+    AST-based on purpose: only a call whose function is the bare name
+    ``print`` counts — ``_fingerprint(...)`` or a ``print`` method on
+    some object is not a hit, and a shadowed local ``print`` is too rare
+    to special-case.
+    """
+
+    code = "RA007"
+    summary = "direct print() outside reporter modules"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.is_sanctioned_for(RA007_SANCTIONED):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                findings.append(self.finding(
+                    ctx, node,
+                    "print() in library code; use RankObs.log / metrics for "
+                    "events, or move human output to a __main__/report "
+                    "module"))
+        return findings
+
+
 #: the catalogue, keyed by rule code (stable ordering for reports)
 RULES: dict[str, Rule] = {
     r.code: r for r in (
         UnbalancedTimerRule(), DeterminismEscapeRule(), DeadUsesPortRule(),
         MutableDefaultRule(), BroadExceptRule(), MPIInLoopRule(),
+        PrintRule(),
     )
 }

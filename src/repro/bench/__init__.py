@@ -16,17 +16,24 @@ cells, the committed baseline *is* the SLO floor, so the gate enforces
 an absolute budget rather than a ratchet.
 """
 
+from repro.bench.report import (AreaReport, build_report, discover_areas,
+                                render_html, render_markdown)
 from repro.bench.trajectory import (Cell, Regression, compare, format_report,
                                     load, record_cell, record_cell_samples,
                                     summarize_samples)
 
 __all__ = [
+    "AreaReport",
     "Cell",
     "Regression",
+    "build_report",
     "compare",
+    "discover_areas",
     "format_report",
     "load",
     "record_cell",
     "record_cell_samples",
+    "render_html",
+    "render_markdown",
     "summarize_samples",
 ]

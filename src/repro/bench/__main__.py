@@ -1,4 +1,4 @@
-"""CLI: compare a fresh benchmark trajectory against the committed baseline.
+"""CLI: gate and render the benchmark trajectory areas.
 
 Usage::
 
@@ -7,7 +7,13 @@ Usage::
         --current benchmarks/out/BENCH_scaling.json \
         [--tolerance 0.20]
 
-Exits 1 when any gated cell regressed beyond the tolerance.
+    python -m repro.bench report \
+        [--baseline-dir .] [--current-dir benchmarks/out] \
+        [--out report.md] [--html report.html]
+
+``check`` exits 1 when any gated cell regressed beyond the tolerance.
+``report`` renders every ``BENCH_*.json`` area (medians, CIs, deltas)
+as markdown (stdout or ``--out``) and optionally HTML.
 """
 
 from __future__ import annotations
@@ -28,7 +34,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="freshly generated trajectory file")
     check.add_argument("--tolerance", type=float, default=0.20,
                        help="allowed fractional slowdown (default 0.20)")
+    rep = sub.add_parser("report", help="render all BENCH_* areas")
+    rep.add_argument("--baseline-dir", default=".",
+                     help="directory of committed BENCH_*.json (default .)")
+    rep.add_argument("--current-dir", default="benchmarks/out",
+                     help="directory of fresh cells (default benchmarks/out; "
+                          "missing files are fine)")
+    rep.add_argument("--tolerance", type=float, default=0.20,
+                     help="delta highlighted as regression (default 0.20)")
+    rep.add_argument("--out", default=None,
+                     help="write markdown here instead of stdout")
+    rep.add_argument("--html", default=None,
+                     help="also write a standalone HTML report here")
     args = parser.parse_args(argv)
+
+    if args.command == "report":
+        return _report(args)
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -47,6 +68,29 @@ def main(argv: list[str] | None = None) -> int:
         for r in regressions:
             print(f"  {r.format()}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.bench.report import build_report, render_html, render_markdown
+
+    areas = build_report(args.baseline_dir, args.current_dir,
+                         tolerance=args.tolerance)
+    if not areas:
+        print(f"error: no BENCH_*.json areas under {args.baseline_dir!r}",
+              file=sys.stderr)
+        return 1
+    md = render_markdown(areas)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(md + "\n")
+        print(f"wrote {args.out} ({len(areas)} area(s))")
+    else:
+        print(md)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(areas) + "\n")
+        print(f"wrote {args.html}")
     return 0
 
 

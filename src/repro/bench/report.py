@@ -1,0 +1,221 @@
+"""Render every ``BENCH_*.json`` trajectory area into one report.
+
+The committed trajectory files (``BENCH_scaling.json``,
+``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_kernels.json``, ...)
+are the repo's performance ledger, but raw JSON answers nothing at a
+glance.  :func:`build_report` loads every area from a baseline directory
+(the repo root in CI), pairs each with the freshly generated copy under
+a current directory (``benchmarks/out``) when one exists, and
+:func:`render_markdown` / :func:`render_html` turn the lot into one
+document: per-cell medians, 95% CIs, sample counts, gate status and the
+PR-over-PR delta of every cell present on both sides.
+
+``python -m repro.bench report`` is the CLI wrapper; CI uploads its
+output as an artifact on every run.
+"""
+
+from __future__ import annotations
+
+import glob
+import html
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.trajectory import Cell, Regression, compare, load
+
+#: file pattern one trajectory area matches
+AREA_GLOB = "BENCH_*.json"
+
+
+def discover_areas(directory: str) -> dict[str, str]:
+    """``{area name: path}`` for every trajectory file in ``directory``."""
+    out: dict[str, str] = {}
+    for path in sorted(glob.glob(os.path.join(directory, AREA_GLOB))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        out[name] = path
+    return out
+
+
+@dataclass
+class AreaReport:
+    """One trajectory area: committed baseline vs (optional) fresh run."""
+
+    name: str
+    baseline_path: str
+    baseline: dict[str, Cell]
+    current: dict[str, Cell] = field(default_factory=dict)
+    regressions: list[Regression] = field(default_factory=list)
+
+    @property
+    def regressed_names(self) -> set[str]:
+        return {r.name for r in self.regressions}
+
+
+def build_report(baseline_dir: str = ".", current_dir: str | None = None,
+                 tolerance: float = 0.20) -> list[AreaReport]:
+    """Load every area; pair with fresh cells and gate when available."""
+    areas: list[AreaReport] = []
+    for name, path in discover_areas(baseline_dir).items():
+        area = AreaReport(name=name, baseline_path=path, baseline=load(path))
+        if current_dir is not None:
+            cur_path = os.path.join(current_dir, os.path.basename(path))
+            if os.path.exists(cur_path):
+                area.current = load(cur_path)
+                area.regressions = compare(area.baseline, area.current,
+                                           tolerance=tolerance)
+        areas.append(area)
+    return areas
+
+
+# ------------------------------------------------------------------ rows
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "—"
+    return f"{v:g}"
+
+
+def _fmt_ci(cell: Cell | None) -> str:
+    if cell is None or cell.ci95 is None:
+        return "—"
+    return f"[{cell.ci95[0]:g}, {cell.ci95[1]:g}]"
+
+
+def _delta_pct(base: Cell, cur: Cell) -> float | None:
+    if base.gating_value == 0:
+        return None
+    return 100.0 * (cur.gating_value - base.gating_value) / base.gating_value
+
+
+def _area_rows(area: AreaReport) -> list[dict[str, Any]]:
+    """One row dict per cell (union of baseline and current names)."""
+    rows: list[dict[str, Any]] = []
+    for name in sorted(set(area.baseline) | set(area.current)):
+        base = area.baseline.get(name)
+        cur = area.current.get(name)
+        stat = cur or base
+        assert stat is not None
+        delta = _delta_pct(base, cur) if base and cur else None
+        if name in area.regressed_names:
+            status = "REGRESSED"
+        elif base is None:
+            status = "new"
+        elif area.current and cur is None:
+            status = "retired"
+        elif not stat.gate:
+            status = "trend"
+        else:
+            status = "ok"
+        rows.append({
+            "cell": name,
+            "baseline": None if base is None else base.gating_value,
+            "current": None if cur is None else cur.gating_value,
+            "delta_pct": delta,
+            "unit": stat.unit,
+            "ci95": _fmt_ci(cur if cur is not None else base),
+            "n": stat.n_samples,
+            "direction": "↑ better" if stat.higher_is_better else "↓ better",
+            "status": status,
+        })
+    return rows
+
+
+_COLUMNS = ("cell", "baseline", "current", "delta", "unit", "ci95 (median)",
+            "n", "direction", "status")
+
+
+def render_markdown(areas: list[AreaReport], title: str = "Benchmark "
+                    "trajectory report") -> str:
+    """GitHub-flavored markdown: one table per area, worst news first."""
+    total_regr = sum(len(a.regressions) for a in areas)
+    lines = [f"# {title}", "",
+             f"Areas: {len(areas)} · cells: "
+             f"{sum(len(a.baseline) for a in areas)} committed · "
+             f"regressions: {total_regr}", ""]
+    for area in areas:
+        fresh = (f", fresh run: {len(area.current)} cell(s)"
+                 if area.current else ", no fresh run")
+        lines += [f"## {area.name}",
+                  "",
+                  f"`{os.path.basename(area.baseline_path)}` — "
+                  f"{len(area.baseline)} committed cell(s){fresh}.",
+                  ""]
+        lines.append("| " + " | ".join(_COLUMNS) + " |")
+        lines.append("|" + "---|" * len(_COLUMNS))
+        for row in _area_rows(area):
+            delta = ("—" if row["delta_pct"] is None
+                     else f"{row['delta_pct']:+.1f}%")
+            lines.append(
+                "| " + " | ".join([
+                    f"`{row['cell']}`",
+                    _fmt(row["baseline"]),
+                    _fmt(row["current"]),
+                    delta,
+                    row["unit"],
+                    row["ci95"],
+                    "—" if row["n"] is None else str(row["n"]),
+                    row["direction"],
+                    f"**{row['status']}**" if row["status"] == "REGRESSED"
+                    else row["status"],
+                ]) + " |")
+        lines.append("")
+        if area.regressions:
+            lines.append("Regressions beyond tolerance:")
+            lines += [f"- {r.format()}" for r in area.regressions]
+            lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a2e; }
+table { border-collapse: collapse; margin: 0.75rem 0 1.5rem; width: 100%; }
+th, td { border: 1px solid #d0d4dc; padding: 0.3rem 0.6rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eef1f6; }
+td:first-child, th:first-child { text-align: left;
+                                 font-family: ui-monospace, monospace; }
+tr.regressed td { background: #fde8e8; font-weight: 600; }
+tr.trend td { color: #667; }
+.summary { color: #445; }
+""".strip()
+
+
+def render_html(areas: list[AreaReport], title: str = "Benchmark "
+                "trajectory report") -> str:
+    """Standalone HTML document (same rows as the markdown renderer)."""
+    total_regr = sum(len(a.regressions) for a in areas)
+    parts = ["<!doctype html>", "<html><head>",
+             '<meta charset="utf-8">',
+             f"<title>{html.escape(title)}</title>",
+             f"<style>{_HTML_STYLE}</style>", "</head><body>",
+             f"<h1>{html.escape(title)}</h1>",
+             f'<p class="summary">Areas: {len(areas)} · committed cells: '
+             f"{sum(len(a.baseline) for a in areas)} · regressions: "
+             f"{total_regr}</p>"]
+    for area in areas:
+        parts.append(f"<h2>{html.escape(area.name)}</h2>")
+        parts.append("<table><thead><tr>"
+                     + "".join(f"<th>{html.escape(c)}</th>" for c in _COLUMNS)
+                     + "</tr></thead><tbody>")
+        for row in _area_rows(area):
+            cls = {"REGRESSED": "regressed", "trend": "trend"}.get(
+                row["status"], "")
+            delta = ("—" if row["delta_pct"] is None
+                     else f"{row['delta_pct']:+.1f}%")
+            cells = [row["cell"], _fmt(row["baseline"]), _fmt(row["current"]),
+                     delta, row["unit"], row["ci95"],
+                     "—" if row["n"] is None else str(row["n"]),
+                     row["direction"], row["status"]]
+            parts.append(f'<tr class="{cls}">'
+                         + "".join(f"<td>{html.escape(str(c))}</td>"
+                                   for c in cells)
+                         + "</tr>")
+        parts.append("</tbody></table>")
+        if area.regressions:
+            parts.append("<ul>")
+            parts += [f"<li>{html.escape(r.format())}</li>"
+                      for r in area.regressions]
+            parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

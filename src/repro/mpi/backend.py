@@ -130,6 +130,7 @@ class ThreadBackend(CommBackend):
         alive = [t.name for t in threads if t.is_alive()]
         if alive:
             world.abort("join timeout")
+            _dump_black_boxes(world, f"join timeout: {alive}")
             raise RankFailure({-1: f"rank threads did not terminate: {alive}"})
         if failures:
             # Drop secondary abort-induced failures when a primary cause exists.
@@ -137,11 +138,23 @@ class ThreadBackend(CommBackend):
                 r: tb for r, tb in failures.items()
                 if "simulated MPI job aborted" not in tb
             }
+            _dump_black_boxes(world, world.abort_reason or "rank failure")
             raise RankFailure(primary or failures)
         if world.sanitizer is not None:
             # End-of-job hygiene: leaked requests / unconsumed envelopes.
             world.sanitizer.finalize(world)
         return BackendRun(results, world)
+
+
+def _dump_black_boxes(world: Any, reason: str) -> None:
+    """Flush flight recorders on the failure path (no-op when off).
+
+    The dump must happen *before* :class:`RankFailure` unwinds the
+    launcher — after that the world (and its recorders) is unreachable.
+    """
+    from repro.obs.flightrec import dump_flight_recorders
+
+    dump_flight_recorders(getattr(world, "obs", None), reason)
 
 
 # --------------------------------------------------------------- world view

@@ -355,6 +355,13 @@ def _worker_main(rank: int, spec: JobSpec, rings: list[ShmRing],
     except BaseException:  # ra: noqa[RA005] — rank isolation barrier
         world.abort(f"rank {rank} raised")
         world.shutdown_receiver()
+        if world.obs is not None:
+            # Each worker flushes its own black box: unlike the thread
+            # backend there is no launcher-side world holding the rings,
+            # and abort-woken peers flush theirs on their own except path.
+            rec = getattr(world.obs[rank], "recorder", None)
+            if rec is not None:
+                rec.dump(f"rank {rank} raised")
         payload = ("err", traceback.format_exc())
     try:
         conn.send(payload)

@@ -81,6 +81,14 @@ class SimWorld:
         # Per-rank observability state (span tracer + metrics registry),
         # or None when tracing is off.
         self.obs = build_obs(self.nranks, obs_config)
+        if self.obs is not None:
+            # Flight recorders tap the MPI ledger: every modeled charge
+            # lands in the rank's black-box ring.  (Listeners are runtime
+            # wiring — MPIAccounting drops them on pickle, so mp-shm
+            # workers re-wire in their own world constructions.)
+            for r, ro in enumerate(self.obs):
+                if ro.recorder is not None:
+                    self.accounting[r].add_listener(ro.recorder.on_mpi)
         # Runtime correctness checkers (collective ordering, p2p hygiene,
         # deadlock and ghost-race detection), or None when off.
         self.sanitizer = (Sanitizer(self.nranks, sanitize, obs=self.obs)
@@ -130,6 +138,10 @@ class SimWorld:
     @property
     def aborted(self) -> bool:
         return self._aborted
+
+    @property
+    def abort_reason(self) -> str | None:
+        return self._abort_reason
 
     # ----------------------------------------------------- point-to-point
     def deliver(self, context: str, env: Envelope) -> None:

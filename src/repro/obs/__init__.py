@@ -7,8 +7,16 @@ of compute and messages actually bounded the run (critical path), *what
 happened between ranks* (causally-linked spans rendered as Perfetto flow
 arrows) and *how is the system behaving* in aggregate (typed metrics
 with cross-rank merge and Prometheus/JSON exposition).
+
+PR 8 makes the layer *always-on*: :class:`AdaptiveSampler` holds the
+tracing tax under a budget instead of trusting a fixed rate,
+:class:`FlightRecorder` keeps a crash black box per rank (dumped and
+mergeable into a post-mortem timeline), and :class:`ObsSidecar` serves
+live ``/metrics`` / ``/healthz`` / ``/debug/spans`` / ``/live`` over a
+running simulation.
 """
 
+from repro.obs.adaptive import AdaptiveSampler, SamplerDecision
 from repro.obs.critical_path import (
     CriticalPathReport,
     PathSegment,
@@ -20,11 +28,19 @@ from repro.obs.critical_path import (
 )
 from repro.obs.export import (
     ObsDump,
+    SpanDropWarning,
     collect,
+    live_metrics,
     validate_chrome_payload,
     validate_trace_file,
     write_metrics,
     write_trace,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    PostMortem,
+    dump_flight_recorders,
+    merge_flight_recordings,
 )
 from repro.obs.metrics import (
     Counter,
@@ -34,6 +50,7 @@ from repro.obs.metrics import (
     log_buckets,
     merge_registries,
 )
+from repro.obs.ops import ObsSidecar
 from repro.obs.runtime import ObsConfig, RankObs, build_obs
 from repro.obs.span import (
     CAT_CHECKPOINT,
@@ -48,6 +65,7 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "AdaptiveSampler",
     "CAT_CHECKPOINT",
     "CAT_COMPUTE",
     "CAT_MPI",
@@ -56,23 +74,31 @@ __all__ = [
     "CAT_STEP",
     "Counter",
     "CriticalPathReport",
+    "FlightRecorder",
     "FlowPoint",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsConfig",
     "ObsDump",
+    "ObsSidecar",
     "PathSegment",
+    "PostMortem",
     "RankObs",
+    "SamplerDecision",
     "Span",
+    "SpanDropWarning",
     "SpanTracer",
     "build_obs",
     "collect",
     "critical_path",
     "crosscheck_ledger",
     "crosscheck_records",
+    "dump_flight_recorders",
     "flow_edges",
+    "live_metrics",
     "log_buckets",
+    "merge_flight_recordings",
     "merge_registries",
     "per_step_critical_paths",
     "validate_chrome_payload",

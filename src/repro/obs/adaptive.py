@@ -1,0 +1,168 @@
+"""Adaptive span sampling under a tracing-overhead budget.
+
+The fixed 1-in-N sampling of PR 3 has the ScALPEL problem backwards: the
+user picks a rate and *hopes* the overhead lands somewhere acceptable.
+This module inverts it — the user states an overhead budget (the tracing
+tax as a fraction of wall clock, default ≤ 2%) and the sampler chooses
+rates online to stay under it:
+
+* the tracer's existing 1-in-16 self-timed accounting
+  (:attr:`~repro.obs.span.SpanTracer.self_overhead_us`) is the measured
+  cost signal, the wall clock since attach the denominator;
+* every ``interval`` tracer operations the controller compares the
+  cumulative tax against the budget and **tightens** (doubles) the
+  sampling rate of every adaptive category while over budget, or
+  **loosens** (halves) it while comfortably under (a quarter of the
+  budget — hysteresis so the rate does not flap at the boundary);
+* rates apply *per category*: compute spans (and any other category the
+  caller registers) sample adaptively, MPI spans are never sampled out —
+  a sampled-out send would orphan its receive edge on another rank.
+
+Every rate change is a :class:`SamplerDecision`, recorded in a bounded
+history, mirrored into the rank's metrics registry
+(``obs_sample_every`` gauge, ``obs_sampler_adjust_total`` counter) and —
+when a flight recorder is attached — into the crash ring, so a
+post-mortem shows not just *what* was sampled but *why*.
+
+All timestamps come from :func:`repro.util.timebase.now_us`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.util.timebase import now_us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.span import SpanTracer
+
+#: categories whose sampling rate the controller adjusts by default
+DEFAULT_ADAPTIVE_CATEGORIES = ("compute", "other", "serve")
+
+#: sampling rate ceiling: beyond 1-in-4096 the tax of the always-on MPI
+#: spans dominates and further tightening buys nothing
+MAX_RATE = 4096
+
+
+@dataclass(frozen=True)
+class SamplerDecision:
+    """One online rate change and the evidence it was based on."""
+
+    t_us: float
+    category: str
+    rate_from: int
+    rate_to: int
+    tax_pct: float
+    ops: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"t_us": self.t_us, "category": self.category,
+                "rate_from": self.rate_from, "rate_to": self.rate_to,
+                "tax_pct": self.tax_pct, "ops": self.ops}
+
+
+class AdaptiveSampler:
+    """Per-rank overhead-budget controller for a :class:`SpanTracer`.
+
+    Attach with :meth:`SpanTracer.attach_controller`; the tracer then
+    asks :meth:`rate_for` on every sampled span open and calls
+    :meth:`maybe_adjust` every ``interval`` operations (a modulo check on
+    the hot path, the control step only at the stride).
+    """
+
+    __slots__ = ("budget_pct", "interval", "rates", "decisions", "metrics",
+                 "_clock", "_t0_us", "_min_elapsed_us", "_last_adjust_ops")
+
+    def __init__(self, budget_pct: float = 2.0, *, interval: int = 64,
+                 start_rate: int = 1,
+                 categories: tuple[str, ...] = DEFAULT_ADAPTIVE_CATEGORIES,
+                 metrics: "MetricsRegistry | None" = None,
+                 max_decisions: int = 256,
+                 clock: "Callable[[], float]" = now_us) -> None:
+        if budget_pct <= 0.0:
+            raise ValueError(f"budget_pct must be positive, got {budget_pct}")
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if not (1 <= start_rate <= MAX_RATE):
+            raise ValueError(f"start_rate must be in [1, {MAX_RATE}], "
+                             f"got {start_rate}")
+        self.budget_pct = float(budget_pct)
+        self.interval = int(interval)
+        #: live per-category 1-in-N rates (categories not listed here are
+        #: never sampled out; the tracer falls back to rate 1)
+        self.rates: dict[str, int] = {c: int(start_rate) for c in categories}
+        self.decisions: deque[SamplerDecision] = deque(maxlen=max_decisions)
+        self.metrics = metrics
+        self._clock = clock
+        self._t0_us = clock()
+        #: do not judge the tax before any signal accumulated: the first
+        #: few ops divide a stride-sampled estimate by ~zero elapsed time
+        self._min_elapsed_us = 5_000.0
+        self._last_adjust_ops = 0
+
+    # ----------------------------------------------------------- queries
+    def rate_for(self, category: str) -> int:
+        """Current 1-in-N rate for ``category`` (1 = keep everything)."""
+        return self.rates.get(category, 1)
+
+    def tax_pct(self, tracer: "SpanTracer") -> float:
+        """Cumulative self-reported tracing tax in percent of wall clock."""
+        elapsed = self._clock() - self._t0_us
+        if elapsed <= 0.0:
+            return 0.0
+        return 100.0 * tracer.self_overhead_us / elapsed
+
+    # ------------------------------------------------------------ control
+    def maybe_adjust(self, tracer: "SpanTracer") -> None:
+        """One control step: tighten/loosen rates against the budget.
+
+        Called by the tracer at the op stride; cheap no-op until enough
+        wall clock elapsed for the tax estimate to mean something.
+        """
+        t = self._clock()
+        elapsed = t - self._t0_us
+        if elapsed < self._min_elapsed_us:
+            return
+        tax = 100.0 * tracer.self_overhead_us / elapsed
+        if tax > self.budget_pct:
+            self._retune(tracer, t, tax, tighten=True)
+        elif tax < 0.25 * self.budget_pct:
+            self._retune(tracer, t, tax, tighten=False)
+        self._last_adjust_ops = tracer.ops
+
+    def _retune(self, tracer: "SpanTracer", t_us: float, tax: float,
+                *, tighten: bool) -> None:
+        direction = "tighten" if tighten else "loosen"
+        for category, rate in self.rates.items():
+            new = min(MAX_RATE, rate * 2) if tighten else max(1, rate // 2)
+            if new == rate:
+                continue
+            self.rates[category] = new
+            decision = SamplerDecision(t_us=t_us, category=category,
+                                       rate_from=rate, rate_to=new,
+                                       tax_pct=tax, ops=tracer.ops)
+            self.decisions.append(decision)
+            recorder = tracer.recorder
+            if recorder is not None:
+                recorder.on_decision(decision.to_dict())
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "obs_sample_every",
+                    "live 1-in-N sampling rate chosen by the adaptive "
+                    "controller", category=category).set(new)
+                self.metrics.counter(
+                    "obs_sampler_adjust_total",
+                    "adaptive sampling rate changes",
+                    category=category, direction=direction).inc()
+
+    # -------------------------------------------------------- exposition
+    def report(self) -> dict[str, Any]:
+        """JSON-able summary: budget, live rates, recent decisions."""
+        return {
+            "budget_pct": self.budget_pct,
+            "rates": dict(self.rates),
+            "decisions": [d.to_dict() for d in self.decisions],
+        }

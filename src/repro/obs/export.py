@@ -13,6 +13,7 @@ round-trips the JSON and checks the invariants a viewer relies on
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -21,6 +22,15 @@ from repro.obs.runtime import RankObs
 from repro.obs.span import FlowPoint, Span
 from repro.tau.trace import dump_chrome_trace_spans
 from repro.util.atomicio import atomic_write_text
+
+
+class SpanDropWarning(Warning):
+    """The bounded tracer buffer overflowed and history was lost.
+
+    A dedicated category (not RuntimeWarning — CI escalates those to
+    errors) so callers can filter it; emitted at most once per process
+    per :func:`collect` call site via the standard warning dedup.
+    """
 
 
 @dataclass
@@ -32,6 +42,7 @@ class ObsDump:
     dropped_by_rank: dict[int, int] = field(default_factory=dict)
     sampled_out_by_rank: dict[int, int] = field(default_factory=dict)
     overhead_by_rank: dict[int, dict[str, float]] = field(default_factory=dict)
+    sampler_by_rank: dict[int, dict[str, Any]] = field(default_factory=dict)
     registries: list[MetricsRegistry] = field(default_factory=list)
 
     @property
@@ -53,8 +64,36 @@ def _rank_obs_of(source: Any) -> Sequence[RankObs]:
     return obs
 
 
+#: process-level once-per-run latch for the drop alert
+_drop_warned = False
+
+
+def reset_drop_warning() -> None:
+    """Re-arm the once-per-run span-drop alert (tests and long daemons)."""
+    global _drop_warned
+    _drop_warned = False
+
+
+def _warn_drops_once(dropped_by_rank: dict[int, int]) -> None:
+    global _drop_warned
+    if _drop_warned or not dropped_by_rank:
+        return
+    _drop_warned = True
+    total = sum(dropped_by_rank.values())
+    warnings.warn(
+        f"span tracer dropped {total} span(s) "
+        f"(by rank: {dict(sorted(dropped_by_rank.items()))}); trace history "
+        f"is truncated — raise ObsConfig.max_spans or enable adaptive "
+        f"sampling", SpanDropWarning, stacklevel=3)
+
+
 def collect(source: Any) -> ObsDump:
-    """Merge all ranks' observability state, time-ordering the spans."""
+    """Merge all ranks' observability state, time-ordering the spans.
+
+    Warns (once per run, :class:`SpanDropWarning`) when any rank's
+    bounded buffer dropped history — truncation must be loud, not a
+    field the caller may forget to check.
+    """
     dump = ObsDump()
     for ro in _rank_obs_of(source):
         tracer = ro.tracer
@@ -65,8 +104,12 @@ def collect(source: Any) -> ObsDump:
         if tracer.sampled_out:
             dump.sampled_out_by_rank[ro.rank] = tracer.sampled_out
         dump.overhead_by_rank[ro.rank] = tracer.overhead_report()
+        controller = getattr(ro, "controller", None)
+        if controller is not None:
+            dump.sampler_by_rank[ro.rank] = controller.report()
         dump.registries.append(ro.metrics)
     dump.spans.sort(key=lambda s: (s.t_start_us, s.rank, s.span_id))
+    _warn_drops_once(dump.dropped_by_rank)
     return dump
 
 
@@ -98,10 +141,68 @@ def write_metrics(source: Any, json_path: str | None = None,
         merged.counter("tracer_self_overhead_us_total",
                        "tracer-measured cost of tracing itself").inc(
                            rep["self_overhead_us"])
+    for rank, rep in sorted(dump.dropped_by_rank.items()):
+        merged.gauge("tracer_dropped_spans",
+                     "spans lost to buffer overflow on one rank",
+                     dropped_rank=str(rank)).set(rep)
+    for rank, sampler in sorted(dump.sampler_by_rank.items()):
+        for category, rate in sorted(sampler.get("rates", {}).items()):
+            g = merged.gauge(
+                "obs_sample_every",
+                "live 1-in-N sampling rate chosen by the adaptive "
+                "controller", category=category)
+            # Merged gauges answer "largest per-rank value"; keep that
+            # contract when folding in the controllers' live rates.
+            g.set(max(g.value, rate))
+        merged.counter(
+            "obs_sampler_decisions_total",
+            "adaptive sampling rate changes recorded").inc(
+                len(sampler.get("decisions", [])))
     if json_path is not None:
         atomic_write_text(json_path, merged.to_json())
     if prometheus_path is not None:
         atomic_write_text(prometheus_path, merged.to_prometheus())
+    return merged
+
+
+def live_metrics(obs: Sequence[RankObs]) -> MetricsRegistry:
+    """Merged registry + tracer/sampler accounting from *live* rank state.
+
+    Unlike :func:`write_metrics` this never copies span buffers, so a
+    scrape endpoint can call it on every request while ranks are still
+    running.  Rank threads may create instruments concurrently; the
+    merge retries a few times if a registry dict grows mid-iteration.
+    """
+    for attempt in range(3):
+        try:
+            merged = merge_registries([ro.metrics for ro in obs])
+            break
+        except RuntimeError:  # dict grew during iteration; scrape again
+            if attempt == 2:
+                raise
+    for ro in obs:
+        rep = ro.tracer.overhead_report()
+        merged.counter("tracer_spans_total",
+                       "spans recorded by the tracer").inc(rep["spans"])
+        merged.counter("tracer_dropped_total",
+                       "spans dropped by the bounded buffer").inc(rep["dropped"])
+        merged.counter("tracer_sampled_out_total",
+                       "spans skipped by 1-in-N sampling").inc(rep["sampled_out"])
+        merged.counter("tracer_self_overhead_us_total",
+                       "tracer-measured cost of tracing itself").inc(
+                           rep["self_overhead_us"])
+        if rep["dropped"]:
+            merged.gauge("tracer_dropped_spans",
+                         "spans lost to buffer overflow on one rank",
+                         dropped_rank=str(ro.rank)).set(rep["dropped"])
+        controller = getattr(ro, "controller", None)
+        if controller is not None:
+            for category, rate in sorted(controller.rates.items()):
+                g = merged.gauge(
+                    "obs_sample_every",
+                    "live 1-in-N sampling rate chosen by the adaptive "
+                    "controller", category=category)
+                g.set(max(g.value, rate))
     return merged
 
 

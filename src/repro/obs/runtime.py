@@ -1,6 +1,7 @@
 """Per-rank observability state and its configuration.
 
-One :class:`RankObs` (a span tracer + a metrics registry) is attached to
+One :class:`RankObs` (a span tracer + a metrics registry, optionally an
+adaptive sampling controller and a crash flight recorder) is attached to
 each rank of a :class:`~repro.mpi.world.SimWorld` when an
 :class:`ObsConfig` is passed to the runner; the MPI layer, the TAU
 profiler, the proxies/Mastermind, the fault paths and the checkpoint
@@ -10,7 +11,9 @@ observability is off and every hook is a cheap attribute check.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import SpanTracer
@@ -23,28 +26,75 @@ class ObsConfig:
     ``sample_every=N`` traces 1-in-N proxied component invocations (MPI
     spans are always traced — a sampled-out send would orphan its
     receive edge); metrics are always on, they are constant-memory.
+
+    ``adaptive=True`` replaces the fixed rate with the overhead-budget
+    controller of :mod:`repro.obs.adaptive`: per-category sampling rates
+    tighten/loosen online so the self-reported tracing tax stays under
+    ``tax_budget_pct`` percent of wall clock.  Off by default: fixed
+    1-in-1 sampling is what the deterministic crosscheck tests assume.
+
+    ``flight_recorder=True`` keeps per-rank black-box rings of the last
+    ``flightrec_depth`` spans / ledger charges / log records
+    (:mod:`repro.obs.flightrec`), auto-dumped to ``flightrec_dir`` when
+    the job dies.
     """
 
     sample_every: int = 1
     max_spans: int = 200_000
+    adaptive: bool = False
+    tax_budget_pct: float = 2.0
+    adaptive_interval: int = 64
+    flight_recorder: bool = False
+    flightrec_depth: int = 512
+    flightrec_dir: str = os.path.join("out", "flightrec")
 
     def __post_init__(self) -> None:
         if self.sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {self.sample_every}")
         if self.max_spans < 2:
             raise ValueError(f"max_spans must be >= 2, got {self.max_spans}")
+        if self.tax_budget_pct <= 0.0:
+            raise ValueError(
+                f"tax_budget_pct must be positive, got {self.tax_budget_pct}")
+        if self.adaptive_interval < 1:
+            raise ValueError(
+                f"adaptive_interval must be >= 1, got {self.adaptive_interval}")
+        if self.flightrec_depth < 1:
+            raise ValueError(
+                f"flightrec_depth must be >= 1, got {self.flightrec_depth}")
 
 
 class RankObs:
     """One rank's observability state (used only from that rank's thread)."""
 
-    __slots__ = ("rank", "tracer", "metrics")
+    __slots__ = ("rank", "tracer", "metrics", "controller", "recorder")
 
     def __init__(self, rank: int, config: ObsConfig) -> None:
         self.rank = int(rank)
         self.tracer = SpanTracer(rank=rank, max_spans=config.max_spans,
                                  sample_every=config.sample_every)
         self.metrics = MetricsRegistry(rank=rank)
+        self.controller: Any = None
+        self.recorder: Any = None
+        if config.flight_recorder:
+            from repro.obs.flightrec import FlightRecorder
+
+            self.recorder = FlightRecorder(rank, depth=config.flightrec_depth,
+                                           directory=config.flightrec_dir,
+                                           metrics=self.metrics)
+            self.tracer.attach_recorder(self.recorder)
+        if config.adaptive:
+            from repro.obs.adaptive import AdaptiveSampler
+
+            self.controller = AdaptiveSampler(
+                config.tax_budget_pct, interval=config.adaptive_interval,
+                metrics=self.metrics)
+            self.tracer.attach_controller(self.controller)
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Structured log into the flight recorder (no-op without one)."""
+        if self.recorder is not None:
+            self.recorder.log(level, event, **fields)
 
 
 def build_obs(nranks: int, config: ObsConfig | None) -> list[RankObs] | None:

@@ -79,6 +79,18 @@ class Span:
             "attrs": dict(self.attrs),
         }
 
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        return cls(
+            span_id=int(d["span_id"]),
+            parent_id=None if d.get("parent_id") is None else int(d["parent_id"]),
+            rank=int(d["rank"]), name=str(d["name"]),
+            category=str(d["category"]),
+            t_start_us=float(d["t_start_us"]),
+            t_end_us=float(d.get("t_end_us", 0.0)),
+            attrs=dict(d.get("attrs") or {}),
+        )
+
 
 @dataclass(frozen=True)
 class FlowPoint:
@@ -132,6 +144,26 @@ class SpanTracer:
         self.sampled_out = 0
         self.self_overhead_us = 0.0
         self._ops = 0
+        #: optional adaptive controller (repro.obs.adaptive.AdaptiveSampler);
+        #: when attached it owns the per-category sampling rate and
+        #: ``sample_every`` becomes the fallback for unknown categories.
+        self.controller: Any = None
+        #: optional flight recorder (repro.obs.flightrec.FlightRecorder);
+        #: sees every closed span for its crash ring.
+        self.recorder: Any = None
+
+    @property
+    def ops(self) -> int:
+        """Begin/end operations performed (the controller's clock)."""
+        return self._ops
+
+    def attach_controller(self, controller: Any) -> None:
+        """Hand sampling-rate control to an adaptive controller."""
+        self.controller = controller
+
+    def attach_recorder(self, recorder: Any) -> None:
+        """Mirror every closed span into a flight recorder's ring."""
+        self.recorder = recorder
 
     # ---------------------------------------------------------- identity
     def _new_id(self) -> int:
@@ -154,12 +186,19 @@ class SpanTracer:
         """Open a span; returns None when sampled out (pass it to :meth:`end`)."""
         self._ops += 1
         t_probe = self._clock() if self._ops % self._OVERHEAD_STRIDE == 0 else None
-        if sampled and self.sample_every > 1:
-            k = self._sample_counters.get(name, 0)
-            self._sample_counters[name] = k + 1
-            if k % self.sample_every != 0:
-                self.sampled_out += 1
-                return None
+        if sampled:
+            rate = (self.controller.rate_for(category)
+                    if self.controller is not None else self.sample_every)
+            if rate > 1:
+                k = self._sample_counters.get(name, 0)
+                self._sample_counters[name] = k + 1
+                if k % rate != 0:
+                    self.sampled_out += 1
+                    if t_probe is not None:
+                        self.self_overhead_us += (
+                            (self._clock() - t_probe) * self._OVERHEAD_STRIDE)
+                    self._control_step()
+                    return None
         parent = self._open[-1].span_id if self._open else None
         span = Span(
             span_id=self._new_id(), parent_id=parent, rank=self.rank,
@@ -169,6 +208,7 @@ class SpanTracer:
         self._open.append(span)
         if t_probe is not None:
             self.self_overhead_us += (self._clock() - t_probe) * self._OVERHEAD_STRIDE
+        self._control_step()
         return span
 
     def end(self, span: Span | None) -> None:
@@ -189,6 +229,19 @@ class SpanTracer:
         self._append(span)
         if t_probe is not None:
             self.self_overhead_us += (self._clock() - t_probe) * self._OVERHEAD_STRIDE
+        self._control_step()
+
+    def _control_step(self) -> None:
+        """Run the adaptive controller at its op stride.
+
+        Called *after* the overhead probe closes: the control step lands
+        on ops divisible by ``interval`` (a multiple of the probe stride),
+        so timing it inside the probe would scale its rare cost by the
+        stride and poison the very tax estimate it reads.
+        """
+        ctl = self.controller
+        if ctl is not None and self._ops % ctl.interval == 0:
+            ctl.maybe_adjust(self)
 
     def _append(self, span: Span) -> None:
         if len(self._spans) >= self.max_spans:
@@ -196,6 +249,8 @@ class SpanTracer:
             self.dropped_count += len(self._spans) - keep
             self._spans = self._spans[-keep:]
         self._spans.append(span)
+        if self.recorder is not None:
+            self.recorder.on_span(span)
 
     @contextlib.contextmanager
     def span(self, name: str, category: str = CAT_OTHER, *,
@@ -254,6 +309,12 @@ class SpanTracer:
     def spans(self) -> list[Span]:
         """Closed spans, oldest first (open spans are not included)."""
         return list(self._spans)
+
+    def recent_spans(self, n: int = 100) -> list[Span]:
+        """The last ``n`` closed spans (cheap slice; live-endpoint feed)."""
+        if n < 1:
+            return []
+        return self._spans[-n:]
 
     def flows(self) -> list[FlowPoint]:
         return list(self._flows)

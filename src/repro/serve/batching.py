@@ -79,6 +79,11 @@ class MicroBatcher:
         self._wakeup = asyncio.Event()
         self._task: asyncio.Task | None = None
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a flush (healthz/live feed)."""
+        return len(self._pending)
+
     # --------------------------------------------------------- lifecycle
     def start(self) -> None:
         if self._task is None or self._task.done():

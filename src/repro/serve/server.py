@@ -15,13 +15,15 @@ Two layers, deliberately separable:
 
 Endpoints::
 
-    GET  /healthz            liveness + model version
+    GET  /healthz            liveness + model version + queue depth
     GET  /v1/models          model catalog
     POST /v1/predict         one prediction
     POST /v1/predict/batch   many predictions, one vectorized evaluation
     POST /v1/optimize        assembly recommendation over stored candidates
     GET  /metrics            Prometheus text exposition
     GET  /metrics.json       the same registry as JSON
+    GET  /debug/spans        recent request spans (requires a tracer)
+    GET  /live               SSE stream of periodic serving aggregates
 
 Failure contract: malformed payloads are 400 with the offending field
 named; unknown models 404; no models loaded or queue full 503 with
@@ -39,6 +41,7 @@ from typing import Any, Awaitable, Callable
 
 from repro.models.composite import CompositeModel, Workload
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanTracer
 from repro.perf.optimizer import AssemblyOptimizer
 from repro.serve.batching import LoadShedError, MicroBatcher
 from repro.serve.cache import PredictionCache, QBucketer
@@ -48,6 +51,8 @@ from repro.serve.schema import (AssemblyChoice, BatchPredictRequest,
                                 PredictResponse, ValidationError)
 from repro.serve.store import (ModelUnavailable, ServingModelStore,
                                UnknownModel)
+from repro.util.httpd import (Response, read_request, render_response,
+                              sse_event, sse_preamble)
 from repro.util.timebase import Clock, now_us
 
 __all__ = ["Response", "ServeConfig", "ModelServer"]
@@ -55,26 +60,11 @@ __all__ = ["Response", "ServeConfig", "ModelServer"]
 #: latency histogram buckets: 1 us .. 10 s, six per decade
 _LATENCY_BOUNDS = tuple(10.0 ** (k / 6.0) for k in range(43))
 
-
-@dataclass(frozen=True)
-class Response:
-    """One application-layer response (pre-serialization of HTTP)."""
-
-    status: int
-    body: bytes
-    content_type: str = "application/json"
-    headers: tuple[tuple[str, str], ...] = ()
-
-    @classmethod
-    def json(cls, status: int, obj: Any,
-             headers: tuple[tuple[str, str], ...] = ()) -> "Response":
-        body = json.dumps(obj, sort_keys=True).encode() + b"\n"
-        return cls(status=status, body=body, headers=headers)
-
-    @classmethod
-    def error(cls, status: int, message: str,
-              headers: tuple[tuple[str, str], ...] = ()) -> "Response":
-        return cls.json(status, {"error": message}, headers=headers)
+# Internal aliases kept: the HTTP plumbing moved to repro.util.httpd
+# (shared with the obs sidecar) and these names are this module's API
+# toward its own front-end loop.
+_read_request = read_request
+_render_response = render_response
 
 
 @dataclass(frozen=True)
@@ -92,6 +82,10 @@ class ServeConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     #: cap on ranked assemblies returned by /v1/optimize
     optimize_top_max: int = 50
+    #: period of the SSE ``/live`` aggregate stream
+    live_interval_s: float = 0.5
+    #: spans returned by ``/debug/spans``
+    debug_spans: int = 100
 
 
 _Handler = Callable[["ModelServer", bytes], Awaitable[Response]]
@@ -102,9 +96,13 @@ class ModelServer:
 
     def __init__(self, models_dir: str, config: ServeConfig | None = None,
                  metrics: MetricsRegistry | None = None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 tracer: SpanTracer | None = None) -> None:
         self.config = config or ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: optional request tracer feeding /debug/spans (and, through an
+        #: attached AdaptiveSampler, budgeted request sampling)
+        self.tracer = tracer
         self.store = ServingModelStore(models_dir)
         ttl_us = (None if self.config.cache_ttl_s is None
                   else self.config.cache_ttl_s * 1e6)
@@ -125,6 +123,7 @@ class ModelServer:
             ("POST", "/v1/optimize"): ModelServer._handle_optimize,
             ("GET", "/metrics"): ModelServer._handle_metrics_prom,
             ("GET", "/metrics.json"): ModelServer._handle_metrics_json,
+            ("GET", "/debug/spans"): ModelServer._handle_debug_spans,
         }
 
     # --------------------------------------------------------- lifecycle
@@ -167,6 +166,8 @@ class ModelServer:
             else:
                 resp = Response.error(404, f"no route for {method} {path}")
         else:
+            span = (self.tracer.start(path, "serve", sampled=True)
+                    if self.tracer is not None else None)
             t0 = now_us()
             resp = await self._guarded(handler, body)
             self.metrics.histogram(
@@ -175,6 +176,10 @@ class ModelServer:
             self.metrics.counter(
                 "serve_requests_total", "requests by route and status",
                 route=path, status=str(resp.status)).inc()
+            if self.tracer is not None:
+                if span is not None:
+                    span.attrs["status"] = resp.status
+                self.tracer.end(span)
         return resp
 
     async def _guarded(self, handler: _Handler, body: bytes) -> Response:
@@ -210,6 +215,7 @@ class ModelServer:
             "model_version": snap.version,
             "models": len(snap),
             "reloads": self.store.reloads,
+            "queue_depth": self.batcher.queue_depth,
         })
 
     async def _handle_models(self, body: bytes) -> Response:
@@ -284,6 +290,49 @@ class ModelServer:
     async def _handle_metrics_json(self, body: bytes) -> Response:
         return Response(status=200, body=self.metrics.to_json().encode())
 
+    async def _handle_debug_spans(self, body: bytes) -> Response:
+        if self.tracer is None:
+            return Response.json(200, {"spans": [], "tracing": "off"})
+        spans = self.tracer.recent_spans(self.config.debug_spans)
+        return Response.json(200, {
+            "spans": [s.to_dict() for s in spans],
+            "dropped": self.tracer.dropped_count,
+            "sampled_out": self.tracer.sampled_out,
+        })
+
+    # ----------------------------------------------------- live stream
+    def live_snapshot(self) -> dict[str, Any]:
+        """One frame of the SSE ``/live`` stream: serving aggregates."""
+        snap = self.store.snapshot
+        requests = sum(
+            inst.value for name, _lk, inst in self.metrics.series()
+            if name == "serve_requests_total")
+        frame: dict[str, Any] = {
+            "t_us": now_us(),
+            "model_version": snap.version,
+            "models": len(snap),
+            "reloads": self.store.reloads,
+            "queue_depth": self.batcher.queue_depth,
+            "requests_total": requests,
+        }
+        if self.tracer is not None:
+            frame["spans"] = len(self.tracer)
+            frame["dropped"] = self.tracer.dropped_count
+        return frame
+
+    async def _stream_live(self, writer: asyncio.StreamWriter) -> None:
+        """Serve one SSE client until it disconnects or the server stops."""
+        writer.write(sse_preamble())
+        await writer.drain()
+        while not self._stop.is_set():
+            writer.write(sse_event(self.live_snapshot()))
+            await writer.drain()
+            try:
+                await asyncio.wait_for(self._stop.wait(),
+                                       self.config.live_interval_s)
+            except asyncio.TimeoutError:
+                pass
+
     # ------------------------------------------------------ HTTP front
     async def serve_http(self, host: str = "127.0.0.1",
                          port: int = 8077) -> "asyncio.base_events.Server":
@@ -302,6 +351,11 @@ class ModelServer:
                 if too_large:
                     resp = Response.error(413, "request body too large")
                     keep_alive = False
+                elif method == "GET" and path == "/live":
+                    # SSE: the connection becomes a one-way event stream
+                    # and never returns to request parsing.
+                    await self._stream_live(writer)
+                    break
                 else:
                     resp = await self.handle(method, path, body)
                 writer.write(_render_response(resp, keep_alive))
@@ -317,51 +371,3 @@ class ModelServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass  # close raced the peer's reset
-
-
-_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                405: "Method Not Allowed", 413: "Payload Too Large",
-                503: "Service Unavailable"}
-
-
-async def _read_request(reader: asyncio.StreamReader, max_body: int
-                        ) -> tuple[str, str, bytes, bool, bool] | None:
-    """Parse one HTTP/1.1 request; None on clean EOF before a request."""
-    try:
-        line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
-        return None
-    if not line or not line.strip():
-        return None
-    parts = line.decode("latin-1").split()
-    if len(parts) < 3:
-        return None
-    method, target = parts[0].upper(), parts[1]
-    path = target.split("?", 1)[0]
-    headers: dict[str, str] = {}
-    while True:
-        hline = await reader.readline()
-        if not hline or hline in (b"\r\n", b"\n"):
-            break
-        name, _, value = hline.decode("latin-1").partition(":")
-        headers[name.strip().lower()] = value.strip()
-    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-    try:
-        length = int(headers.get("content-length", "0") or "0")
-    except ValueError:
-        length = 0
-    if length > max_body:
-        # Drain nothing: answering 413 then closing is the contract.
-        return method, path, b"", False, True
-    body = await reader.readexactly(length) if length else b""
-    return method, path, body, keep_alive, False
-
-
-def _render_response(resp: Response, keep_alive: bool) -> bytes:
-    reason = _STATUS_TEXT.get(resp.status, "Response")
-    lines = [f"HTTP/1.1 {resp.status} {reason}",
-             f"Content-Type: {resp.content_type}",
-             f"Content-Length: {len(resp.body)}",
-             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
-    lines += [f"{k}: {v}" for k, v in resp.headers]
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + resp.body

@@ -1,0 +1,112 @@
+"""Minimal HTTP/1.1 plumbing shared by the serving front and the ops sidecar.
+
+Originally private to :mod:`repro.serve.server`; factored out so the
+observability sidecar (:mod:`repro.obs.ops`) can serve the same live
+endpoints without depending on the model-serving stack.  Three pieces:
+
+* :class:`Response` — the application-layer response value (status, body,
+  content type, extra headers) with ``json``/``error`` constructors;
+* :func:`read_request` / :func:`render_response` — one-request parse and
+  serialize over ``asyncio`` streams (request line + headers +
+  Content-Length body, keep-alive);
+* :func:`sse_preamble` / :func:`sse_event` — Server-Sent Events framing
+  for streaming endpoints (``/live``): a response header block that
+  disables buffering, then one ``data:`` frame per event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Response", "STATUS_TEXT", "read_request", "render_response",
+           "sse_preamble", "sse_event"]
+
+STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 413: "Payload Too Large",
+               503: "Service Unavailable"}
+
+
+@dataclass(frozen=True)
+class Response:
+    """One application-layer response (pre-serialization of HTTP)."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def json(cls, status: int, obj: Any,
+             headers: tuple[tuple[str, str], ...] = ()) -> "Response":
+        body = json.dumps(obj, sort_keys=True).encode() + b"\n"
+        return cls(status=status, body=body, headers=headers)
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              headers: tuple[tuple[str, str], ...] = ()) -> "Response":
+        return cls.json(status, {"error": message}, headers=headers)
+
+
+async def read_request(reader: asyncio.StreamReader, max_body: int
+                       ) -> tuple[str, str, bytes, bool, bool] | None:
+    """Parse one HTTP/1.1 request; None on clean EOF before a request.
+
+    Returns ``(method, path, body, keep_alive, too_large)``; the query
+    string is split off the target and discarded by the caller's router
+    (handlers that need it re-parse the raw target themselves).
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line or not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 3:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    headers: dict[str, str] = {}
+    while True:
+        hline = await reader.readline()
+        if not hline or hline in (b"\r\n", b"\n"):
+            break
+        name, _, value = hline.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        length = 0
+    if length > max_body:
+        # Drain nothing: answering 413 then closing is the contract.
+        return method, path, b"", False, True
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body, keep_alive, False
+
+
+def render_response(resp: Response, keep_alive: bool) -> bytes:
+    reason = STATUS_TEXT.get(resp.status, "Response")
+    lines = [f"HTTP/1.1 {resp.status} {reason}",
+             f"Content-Type: {resp.content_type}",
+             f"Content-Length: {len(resp.body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    lines += [f"{k}: {v}" for k, v in resp.headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + resp.body
+
+
+def sse_preamble() -> bytes:
+    """Header block opening a Server-Sent Events stream (no Content-Length:
+    the connection stays open and closes when the stream ends)."""
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n")
+
+
+def sse_event(obj: Any) -> bytes:
+    """One ``data:`` frame carrying ``obj`` as JSON."""
+    return b"data: " + json.dumps(obj, sort_keys=True).encode() + b"\n\n"

@@ -249,6 +249,49 @@ def outer(comm, patches):
     assert findings == []
 
 
+# --------------------------------------------------------------------- RA007
+def test_ra007_flags_print_in_library_code(tmp_path):
+    findings = _lint(tmp_path, """
+def work(x):
+    print("debug", x)
+    return x + 1
+""", rules=["RA007"])
+    assert _codes(findings) == ["RA007"]
+    assert "RankObs.log" in findings[0].message
+
+
+def test_ra007_methods_and_lookalikes_pass(tmp_path):
+    findings = _lint(tmp_path, """
+def work(doc, pr):
+    doc.print("not the builtin")
+    _fingerprint(doc)
+    return "print"  # the string is not a call
+""", rules=["RA007"])
+    assert findings == []
+
+
+def test_ra007_sanctioned_reporters_are_exempt(tmp_path):
+    for rel in ("pkg/__main__.py", "repro/harness/report.py",
+                "repro/serve/loadgen.py"):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("def show(x):\n    print(x)\n")
+        assert lint_file(path, rules=["RA007"]) == [], rel
+
+
+def test_ra007_noqa_suppression(tmp_path):
+    findings = _lint(
+        tmp_path, "def go():\n    print('x')  # ra: noqa[RA007]\n",
+        rules=["RA007"])
+    assert findings == []
+
+
+def test_ra007_src_tree_is_clean():
+    """The library itself obeys the rule it ships (satellite b)."""
+    findings = [f for f in lint_paths(["src"]) if f.rule == "RA007"]
+    assert findings == [], [f.format() for f in findings]
+
+
 # --------------------------------------------------------------- suppression
 def test_noqa_suppresses_single_code(tmp_path):
     findings = _lint(tmp_path, """

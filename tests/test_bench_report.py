@@ -1,0 +1,113 @@
+"""Trajectory report renderer: discovery, pairing, markdown/HTML, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import build_report, discover_areas, render_html, render_markdown
+from repro.bench.__main__ import main
+from repro.bench.trajectory import record_cell, record_cell_samples
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A baseline dir with two areas and a fresh-run dir overlapping one."""
+    base = tmp_path / "repo"
+    cur = base / "benchmarks" / "out"
+    base.mkdir()
+    cur.mkdir(parents=True)
+    a = str(base / "BENCH_alpha.json")
+    record_cell_samples(a, "wall_us", [100.0, 110.0, 105.0], unit="us")
+    record_cell(a, "slo_ceiling", 50.0, unit="ms", gate=True)
+    b = str(base / "BENCH_beta.json")
+    record_cell(b, "speedup", 2.0, unit="x", higher_is_better=True)
+    record_cell(b, "trend_only", 7.0, unit="count", gate=False)
+
+    fresh = str(cur / "BENCH_alpha.json")
+    record_cell_samples(fresh, "wall_us", [150.0, 155.0, 149.0], unit="us")
+    record_cell(fresh, "brand_new", 1.0, unit="us", gate=False)
+    return str(base), str(cur)
+
+
+def test_discover_areas(tree):
+    base, _ = tree
+    areas = discover_areas(base)
+    assert list(areas) == ["alpha", "beta"]
+    assert areas["alpha"].endswith("BENCH_alpha.json")
+    assert discover_areas(base + "/nope") == {}
+
+
+def test_build_report_pairs_and_gates(tree):
+    base, cur = tree
+    alpha, beta = build_report(base, cur)
+    assert alpha.name == "alpha" and beta.name == "beta"
+    # alpha has a fresh run: the +43% median on a gated cell regresses.
+    assert set(alpha.current) == {"wall_us", "brand_new"}
+    assert alpha.regressed_names == {"wall_us"}
+    # beta has no fresh file: trend-only view, nothing gated.
+    assert beta.current == {} and beta.regressions == []
+
+
+def test_markdown_rows_cover_all_statuses(tree):
+    base, cur = tree
+    md = render_markdown(build_report(base, cur))
+    assert md.startswith("# Benchmark trajectory report")
+    assert "Areas: 2" in md and "regressions: 1" in md
+    # Row statuses: regressed, new-in-current, retired, trend, plain ok.
+    assert "| `wall_us` | 105 | 150 | +42.9% | us |" in md
+    assert "**REGRESSED**" in md
+    assert "| `brand_new` | — | 1 |" in md and "| new |" in md
+    assert "| `slo_ceiling` | 50 | — |" in md and "| retired |" in md
+    assert "| `trend_only` |" in md and "| trend |" in md
+    assert "| `speedup` | 2 | — | — | x | — | — | ↑ better | ok |" in md
+    # CI bracket of the fresh median appears.
+    assert "[149," in md
+    assert "Regressions beyond tolerance:" in md
+
+
+def test_html_document(tree):
+    base, cur = tree
+    doc = render_html(build_report(base, cur))
+    assert doc.startswith("<!doctype html>")
+    assert "<h2>alpha</h2>" in doc and "<h2>beta</h2>" in doc
+    assert 'class="regressed"' in doc
+    assert doc.count("<table>") == 2
+    assert "</html>" in doc
+
+
+def test_cli_report_writes_files(tree, capsys):
+    base, cur = tree
+    md_path = os.path.join(base, "report.md")
+    html_path = os.path.join(base, "report.html")
+    rc = main(["report", "--baseline-dir", base, "--current-dir", cur,
+               "--out", md_path, "--html", html_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 area(s)" in out
+    assert open(md_path).read().startswith("# Benchmark trajectory report")
+    assert "<!doctype html>" in open(html_path).read()
+
+
+def test_cli_report_stdout_and_empty_dir(tmp_path, capsys):
+    record_cell(str(tmp_path / "BENCH_x.json"), "c", 1.0)
+    assert main(["report", "--baseline-dir", str(tmp_path),
+                 "--current-dir", str(tmp_path / "none")]) == 0
+    assert "# Benchmark trajectory report" in capsys.readouterr().out
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["report", "--baseline-dir", str(empty)]) == 1
+    assert "no BENCH_*.json" in capsys.readouterr().err
+
+
+def test_report_over_committed_repo_areas():
+    """The real repo ledger renders: every committed area, every cell."""
+    areas = build_report(".")
+    names = {a.name for a in areas}
+    assert {"scaling", "serving"} <= names
+    md = render_markdown(areas)
+    for a in areas:
+        assert f"## {a.name}" in md
+        for cell in a.baseline:
+            assert f"`{cell}`" in md

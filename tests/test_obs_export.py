@@ -98,8 +98,19 @@ def test_dropped_spans_surface_loudly(tmp_path):
     ro.rank, ro.tracer = 0, tr
     from repro.obs.metrics import MetricsRegistry
     ro.metrics = MetricsRegistry(rank=0)
-    dump = collect([ro])
+    # The drop alert fires once per run as a dedicated warning category.
+    import pytest
+    from repro.obs.export import SpanDropWarning, reset_drop_warning
+    reset_drop_warning()
+    with pytest.warns(SpanDropWarning, match="trace history"):
+        dump = collect([ro])
     assert dump.dropped_total == tr.dropped_count
+    # ...and only once: a second collect stays quiet.
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", SpanDropWarning)
+        collect([ro])
+    reset_drop_warning()
 
     path = str(tmp_path / "truncated.json")
     write_trace(dump, path)

@@ -1,0 +1,188 @@
+"""Flight recorder: bounded rings, crash dumps, cross-rank post-mortems."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import SanitizerConfig
+from repro.euler.ports import DriverParams
+from repro.faults.plan import FaultPlan
+from repro.harness.casestudy import CaseStudyConfig, run_case_study
+from repro.mpi.network import NetworkModel
+from repro.mpi.runner import ParallelRunner, RankFailure
+from repro.obs import (FlightRecorder, MetricsRegistry, ObsConfig, RankObs,
+                       dump_flight_recorders, merge_flight_recordings)
+from repro.obs.flightrec import MERGED_SUMMARY, MERGED_TRACE
+from repro.obs.span import CAT_COMPUTE, CAT_STEP, SpanTracer
+
+
+# ------------------------------------------------------------------- rings
+def test_validation():
+    with pytest.raises(ValueError, match="depth"):
+        FlightRecorder(0, depth=0)
+
+
+def test_span_ring_is_bounded_and_keeps_newest():
+    rec = FlightRecorder(0, depth=8)
+    tr = SpanTracer(rank=0)
+    tr.attach_recorder(rec)
+    for i in range(30):
+        tr.end(tr.start(f"w{i}", CAT_COMPUTE))
+    assert len(rec.spans) == 8
+    assert [s.name for s in rec.spans] == [f"w{i}" for i in range(22, 30)]
+
+
+def test_ledger_logs_and_decision_rings():
+    rec = FlightRecorder(1, depth=4)
+    for i in range(9):
+        rec.on_mpi("MPI_Send", float(i))
+    assert len(rec.ledger) == 4
+    assert [c for _, _, c in rec.ledger] == [5.0, 6.0, 7.0, 8.0]
+    rec.log("warn", "retry", attempt=2)
+    (entry,) = rec.logs
+    assert entry["level"] == "warn" and entry["event"] == "retry"
+    assert entry["fields"] == {"attempt": 2} and entry["t_us"] > 0
+    rec.on_decision({"category": "compute", "rate_to": 4})
+    assert list(rec.decisions) == [{"category": "compute", "rate_to": 4}]
+
+
+def test_step_deltas_diff_counters():
+    reg = MetricsRegistry(rank=0)
+    rec = FlightRecorder(0, metrics=reg)
+    tr = SpanTracer(rank=0)
+    tr.attach_recorder(rec)
+
+    reg.counter("mpi_calls_total", routine="MPI_Send").inc(3)
+    sp = tr.start("timestep", CAT_STEP, step=0)
+    reg.counter("mpi_calls_total", routine="MPI_Send").inc(2)
+    tr.end(sp)
+    sp = tr.start("timestep", CAT_STEP, step=1)
+    reg.counter("mpi_calls_total", routine="MPI_Recv").inc(1)
+    tr.end(sp)
+
+    d0, d1 = rec.step_deltas
+    assert d0["step"] == 0 and d1["step"] == 1
+    # First capture charges everything since the run began (base = 0)...
+    (key0, val0), = d0["counter_deltas"].items()
+    assert key0.startswith("mpi_calls_total") and "MPI_Send" in key0
+    assert val0 == 5.0
+    # ...later captures only what moved during that step.
+    (key1, val1), = d1["counter_deltas"].items()
+    assert "MPI_Recv" in key1 and val1 == 1.0
+
+
+# ------------------------------------------------------------------- dumps
+def _loaded_recorder(rank=0):
+    rec = FlightRecorder(rank, depth=16)
+    tr = SpanTracer(rank=rank)
+    tr.attach_recorder(rec)
+    for i in range(5):
+        tr.end(tr.start(f"r{rank}w{i}", CAT_COMPUTE))
+    rec.on_mpi("MPI_Send", 12.5)
+    rec.log("info", "hello")
+    return rec
+
+
+def test_dump_writes_once_first_cause_wins(tmp_path):
+    rec = _loaded_recorder()
+    p1 = rec.dump("simulated crash", str(tmp_path))
+    p2 = rec.dump("cascading abort", str(tmp_path))
+    assert p1 == p2 == os.path.join(str(tmp_path), "rank0.json")
+    payload = json.load(open(p1))
+    assert payload["reason"] == "simulated crash"
+    assert payload["rank"] == 0
+    assert len(payload["spans"]) == 5
+    assert payload["ledger"] == [{"t_us": pytest.approx(payload["ledger"][0]["t_us"]),
+                                  "routine": "MPI_Send", "cost_us": 12.5}]
+    assert payload["t_dump_us"] > 0
+
+
+def test_dump_flight_recorders_tolerates_gaps(tmp_path):
+    ro_with = RankObs(0, ObsConfig(flight_recorder=True,
+                                   flightrec_dir=str(tmp_path)))
+    ro_without = RankObs(1, ObsConfig())
+    paths = dump_flight_recorders([ro_with, ro_without], "test", str(tmp_path))
+    assert paths == [os.path.join(str(tmp_path), "rank0.json")]
+    assert dump_flight_recorders(None, "no obs at all") == []
+
+
+# ------------------------------------------------------------------- merge
+def test_merge_reconstructs_cross_rank_timeline(tmp_path):
+    for rank in range(3):
+        _loaded_recorder(rank).dump(f"rank {rank} down", str(tmp_path))
+    pm = merge_flight_recordings(str(tmp_path))
+    assert pm.ranks == [0, 1, 2]
+    assert pm.reasons[2] == "rank 2 down"
+    assert len(pm.spans) == 15
+    starts = [s.t_start_us for s in pm.spans]
+    assert starts == sorted(starts)
+    assert pm.problems == []  # Perfetto-valid
+    assert os.path.basename(pm.trace_path) == MERGED_TRACE
+    assert os.path.basename(pm.summary_path) == MERGED_SUMMARY
+    summary = json.load(open(pm.summary_path))
+    assert summary["valid"] is True and summary["n_spans"] == 15
+    assert "post-mortem over ranks [0, 1, 2]" in pm.format()
+    assert pm.window_us > 0
+
+
+def test_merge_requires_dumps(tmp_path):
+    with pytest.raises(FileNotFoundError, match="rank\\*.json"):
+        merge_flight_recordings(str(tmp_path))
+
+
+# -------------------------------------------------- crash and deadlock e2e
+PARAMS = DriverParams(nx=24, ny=24, max_levels=1, steps=4)
+NET = NetworkModel(latency_us=50.0, bandwidth_bytes_per_us=100.0,
+                   jitter_sigma=0.0)
+
+
+def test_black_boxes_dumped_on_simulated_crash(tmp_path):
+    rec_dir = str(tmp_path / "flightrec")
+    cfg = CaseStudyConfig(
+        params=PARAMS, nranks=2, network=NET,
+        fault_plan=FaultPlan(name="kill", kill_at_step=2),
+        observe=ObsConfig(flight_recorder=True, flightrec_dir=rec_dir),
+    )
+    with pytest.raises(RankFailure, match="SimulatedCrash"):
+        run_case_study(cfg)
+    # Every rank left a black box naming the primary cause...
+    dumps = sorted(os.listdir(rec_dir))
+    assert [d for d in dumps if d.startswith("rank")] == \
+        ["rank0.json", "rank1.json"]
+    # ...and the merged post-mortem is a valid last-N-steps timeline that
+    # reaches the step the crash interrupted.
+    pm = merge_flight_recordings(rec_dir)
+    assert pm.problems == []
+    assert pm.ranks == [0, 1]
+    assert any("SimulatedCrash" in r or "rank" in r
+               for r in pm.reasons.values())
+    # Steps 0..1 completed; the killed step-2 span still closes on unwind
+    # (the tracer's context manager), so the window ends at the crash step.
+    assert pm.steps == [0, 1, 2]
+    assert any(s.category == "step" for s in pm.spans)
+
+
+def test_black_boxes_dumped_on_deadlock(tmp_path):
+    rec_dir = str(tmp_path / "flightrec")
+    runner = ParallelRunner(
+        2, sanitize=SanitizerConfig(), timeout_s=30.0,
+        obs_config=ObsConfig(flight_recorder=True, flightrec_dir=rec_dir))
+
+    def fn(comm):
+        # Do a little real work first so the rings hold history...
+        for i in range(3):
+            comm.send(i, dest=1 - comm.rank, tag=i)
+            comm.recv(source=1 - comm.rank, tag=i)
+        # ...then the classic head-to-head recv cycle.
+        comm.recv(source=1 - comm.rank, tag=99)
+        comm.send(comm.rank, dest=1 - comm.rank, tag=99)
+
+    with pytest.raises(RankFailure, match="DeadlockError"):
+        runner.run(fn)
+    pm = merge_flight_recordings(rec_dir)
+    assert pm.ranks == [0, 1]
+    assert pm.problems == []
+    # The pre-deadlock traffic is in the window on both ranks.
+    assert {s.rank for s in pm.spans} == {0, 1}
+    assert any(s.name == "MPI_Send" for s in pm.spans)
