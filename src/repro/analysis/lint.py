@@ -36,6 +36,11 @@ RA007_SANCTIONED = (
     "repro/serve/loadgen.py",
 )
 
+#: the one module allowed to call ``pickle.dumps`` inside ``repro.mpi``:
+#: RA008 confines wire-serialization decisions (and their per-frame cost)
+#: to the codec
+RA008_SANCTIONED = ("repro/mpi/codec.py",)
+
 _NOQA_RE = re.compile(r"#\s*ra:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
 

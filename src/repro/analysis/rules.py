@@ -13,6 +13,8 @@ RA005     bare or over-broad ``except``
 RA006     MPI call inside a per-cell (nested) loop — perf smell
 RA007     direct ``print`` outside reporter modules — route through
           structured logs / metrics instead
+RA008     ``pickle.dumps`` in ``repro.mpi`` outside the wire codec —
+          serialize frames through :mod:`repro.mpi.codec` instead
 ========  ==================================================================
 
 Rules are deliberately conservative: dynamic names (non-literal timer or
@@ -26,7 +28,7 @@ from collections import Counter
 from typing import Iterator
 
 from repro.analysis.lint import (RA002_SANCTIONED, RA007_SANCTIONED,
-                                 FileContext, Finding)
+                                 RA008_SANCTIONED, FileContext, Finding)
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -417,11 +419,45 @@ class PrintRule(Rule):
         return findings
 
 
+class WirePickleRule(Rule):
+    """RA008: ``pickle.dumps`` in ``repro.mpi`` outside the wire codec.
+
+    The zero-copy wire format exists because per-frame whole-envelope
+    pickling dominated the communication hot path; a stray
+    ``pickle.dumps`` in the MPI layer silently reintroduces that cost
+    and forks the wire format.  All frame serialization — including the
+    pickle *fallback* for non-array payloads — must go through
+    :mod:`repro.mpi.codec`, the one sanctioned module
+    (:data:`~repro.analysis.lint.RA008_SANCTIONED`).  ``pickle.loads``
+    is deliberately not flagged: decoding a foreign blob does not
+    create a second wire format.
+    """
+
+    code = "RA008"
+    summary = "pickle.dumps in repro.mpi outside the wire codec"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if "repro/mpi/" not in ctx.posix:
+            return []
+        if ctx.is_sanctioned_for(RA008_SANCTIONED):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and _dotted(node.func) == "pickle.dumps"):
+                findings.append(self.finding(
+                    ctx, node,
+                    "pickle.dumps() in the MPI layer outside the codec; "
+                    "serialize frames through repro.mpi.codec (encode/"
+                    "encode_bytes, or pickled_size for sizing)"))
+        return findings
+
+
 #: the catalogue, keyed by rule code (stable ordering for reports)
 RULES: dict[str, Rule] = {
     r.code: r for r in (
         UnbalancedTimerRule(), DeterminismEscapeRule(), DeadUsesPortRule(),
         MutableDefaultRule(), BroadExceptRule(), MPIInLoopRule(),
-        PrintRule(),
+        PrintRule(), WirePickleRule(),
     )
 }

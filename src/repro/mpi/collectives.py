@@ -30,8 +30,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.mpi.codec import transport_nbytes
 from repro.mpi.message import Envelope, copy_payload
-from repro.mpi.network import payload_nbytes
 
 #: message-context prefix reserved for collective transport traffic
 COLL_CONTEXT_PREFIX = "__coll__:"
@@ -52,7 +52,7 @@ def _tsend(world, context: str, source: int, dest: int, tag: int,
     """
     world.deliver(context, Envelope(
         source=source, dest=dest, tag=tag, payload=copy_payload(payload),
-        nbytes=payload_nbytes(payload), cost_us=0.0))
+        nbytes=transport_nbytes(payload), cost_us=0.0))
 
 
 def _trecv(world, context: str, rank: int, source: int, tag: int) -> Any:

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 ANY_SOURCE: int = -1
 ANY_TAG: int = -1
@@ -35,10 +38,11 @@ def rebase_seqno(rank: int) -> None:
 
 
 def copy_payload(obj: Any) -> Any:
-    """Value-semantics copy of a message payload (MPI buffered-send copy)."""
-    import copy
+    """Value-semantics copy of a message payload (MPI buffered-send copy).
 
-    import numpy as np
+    Module-scope imports on purpose: this runs once per transport hop on
+    the collective fast path, where a per-call ``import`` is measurable.
+    """
     if isinstance(obj, np.ndarray):
         return obj.copy()
     if obj is None or isinstance(obj, (int, float, complex, str, bytes, bool)):

@@ -13,15 +13,24 @@ Wire protocol
 -------------
 Each rank owns one :class:`~repro.mpi.shm.ShmRing`; any peer writes frames
 into the destination's ring and a per-worker receiver thread drains its
-own ring into the local world's mailboxes.  A frame is one byte of frame
-kind, then:
+own ring into the local world's mailboxes.  Frames are encoded by
+:mod:`repro.mpi.codec` (struct-packed header, zero-copy NumPy bodies,
+pickle only for rich payloads; see DESIGN.md §14) and written as gathered
+segments — array payloads go from the envelope's buffer straight into
+shared memory with no intermediate ``tobytes()`` copy.
 
-* ``pickle`` frames — ``(kind, context, recoverable, envelope-fields,
-  payload)`` pickled whole;
-* ``ndarray`` frames — pickled metadata (dtype/shape + envelope fields)
-  followed by the raw array bytes, skipping pickle for the bulk data;
-* ``stop`` frames — end-of-job marker a worker writes into its *own* ring
-  after the final barrier, releasing the receiver thread.
+Small frames to the same destination **coalesce**: instead of one ring
+write (lock, length prefix, counter publish) per envelope, outbound
+frames queue per destination and flush as a single multi-frame batch
+write when the batch fills — or, crucially, *before this rank blocks*
+(any receive, collective wait, or shutdown).  Flush-before-blocking
+preserves every liveness property: a rank registered in the deadlock
+wait table provably has nothing buffered, and a computing rank cannot be
+part of a stuck cycle.  Sub-frames keep their envelope sequence numbers,
+so non-overtaking order, receiver dedup, fault plans and the MPI ledger
+are exactly as exact as per-frame sends.  A ``stop`` frame (end-of-job
+marker a worker writes into its *own* ring after the final barrier)
+releases the receiver thread.
 
 Collectives: the rendezvous-slot exchange of the thread world cannot span
 processes, so :meth:`ShmWorld.exchange` reuses the tree machinery of
@@ -40,27 +49,20 @@ their tracebacks to the launcher, and the launcher raises
 
 from __future__ import annotations
 
-import pickle
-import struct
 import threading
 import time
 import traceback
 from typing import Any, Callable
 
-import numpy as np
-
 from repro.analysis.sanitize import Sanitizer, _WaitState
+from repro.mpi import codec
 from repro.mpi import collectives as coll
 from repro.mpi.backend import (BackendRun, CommBackend, JobSpec,
                                SanitizerView, WorldView)
 from repro.mpi.message import Envelope, rebase_seqno
 from repro.mpi.shm import (WAIT_TABLE_MAX_RANKS, RingAborted, ShmFlag,
                            ShmRing, ShmWaitTable)
-from repro.mpi.world import SimWorld
-
-_F_PICKLE = 0
-_F_NDARRAY = 1
-_F_STOP = 2
+from repro.mpi.world import SimMPIError, SimWorld
 
 _KIND_DELIVER = 0
 _KIND_DROP_RECOVERABLE = 1
@@ -70,42 +72,12 @@ _KIND_DROP_TOMBSTONE = 2
 #: it only bounds how far a sender can run ahead of a slow receiver
 DEFAULT_RING_BYTES = 1 << 20
 
-_STOP_FRAME = bytes([_F_STOP])
-
-
-def encode_frame(kind: int, context: str, env: Envelope,
-                 recoverable: bool = True) -> bytes:
-    """Serialize one envelope for the wire (NumPy fast path + pickle)."""
-    fields = (kind, context, recoverable, env.source, env.dest, env.tag,
-              env.nbytes, env.cost_us, env.seq, env.trace_ctx)
-    payload = env.payload
-    if (isinstance(payload, np.ndarray) and payload.dtype != object
-            and not payload.dtype.hasobject):
-        arr = np.ascontiguousarray(payload)
-        meta = pickle.dumps((fields, arr.dtype.str, arr.shape),
-                            protocol=pickle.HIGHEST_PROTOCOL)
-        return b"".join((bytes([_F_NDARRAY]), struct.pack("<I", len(meta)),
-                         meta, arr.tobytes()))
-    blob = pickle.dumps((fields, payload), protocol=pickle.HIGHEST_PROTOCOL)
-    return bytes([_F_PICKLE]) + blob
-
-
-def decode_frame(frame: bytes) -> tuple[int, str, bool, Envelope] | None:
-    """Inverse of :func:`encode_frame`; None for the stop marker."""
-    ftype = frame[0]
-    if ftype == _F_STOP:
-        return None
-    if ftype == _F_NDARRAY:
-        (mlen,) = struct.unpack_from("<I", frame, 1)
-        fields, dtype, shape = pickle.loads(frame[5:5 + mlen])
-        payload: Any = np.frombuffer(
-            frame, dtype=np.dtype(dtype), offset=5 + mlen).reshape(shape).copy()
-    else:
-        fields, payload = pickle.loads(frame[1:])
-    kind, context, recoverable, source, dest, tag, nbytes, cost_us, seq, tctx = fields
-    env = Envelope(source=source, dest=dest, tag=tag, payload=payload,
-                   nbytes=nbytes, cost_us=cost_us, seq=seq, trace_ctx=tctx)
-    return kind, context, recoverable, env
+#: frames above this size bypass coalescing: bulk data gains nothing from
+#: batching and would hold queued control frames hostage to a full ring
+COALESCE_MAX_FRAME = 4096
+#: a destination's pending batch flushes beyond either bound
+COALESCE_MAX_BYTES = 1 << 15
+COALESCE_MAX_FRAMES = 64
 
 
 class SharedSanitizer(Sanitizer):
@@ -197,10 +169,14 @@ class SharedSanitizer(Sanitizer):
 class ShmWorld(SimWorld):
     """A :class:`SimWorld` whose remote ranks live in other processes.
 
-    Exactly four behaviours change relative to the base class:
+    Exactly five behaviours change relative to the base class:
 
     * :meth:`deliver` / :meth:`stash_dropped` route envelopes addressed to
-      remote ranks through the destination's ring;
+      remote ranks through the destination's ring, coalescing small
+      frames per destination;
+    * every blocking entry point (:meth:`match`, :meth:`match_timeout`,
+      :meth:`try_match`) flushes the coalescing buffers first, so queued
+      frames are always on the wire before this rank can stall;
     * :meth:`exchange` / :meth:`exchange_resilient` replace the
       shared-slot rendezvous with tree transport;
     * :meth:`abort` raises the cross-process abort flag;
@@ -208,10 +184,15 @@ class ShmWorld(SimWorld):
 
     Everything else — matching, dedup, recovery stores, accounting, RNG
     streams — is the base class operating on this process's local state.
+
+    Thread-safety note: only the worker's main thread sends (the receiver
+    thread deposits into local stores via the base-class methods), so the
+    coalescing buffers are single-threaded state by construction.
     """
 
     def __init__(self, spec: JobSpec, myrank: int, rings: list[ShmRing],
-                 abort_flag: ShmFlag, wait_table: ShmWaitTable | None) -> None:
+                 abort_flag: ShmFlag, wait_table: ShmWaitTable | None,
+                 coalesce: bool = True) -> None:
         super().__init__(
             spec.nranks, network=spec.network, seed=spec.seed,
             timeout_s=spec.timeout_s, injector=spec.injector,
@@ -225,14 +206,66 @@ class ShmWorld(SimWorld):
         self._rings = rings
         self._abort_flag = abort_flag
         self._receiver: threading.Thread | None = None
+        self._coalesce = bool(coalesce)
+        #: per-destination queues of encoded-but-unsent frames (segment
+        #: lists) and their byte totals
+        self._pending: list[list[list[Any]]] = [[] for _ in range(self.nranks)]
+        self._pending_bytes = [0] * self.nranks
+        self._tx_frames = 0
+        self._tx_batches = 0
+        self._tx_coalesced = 0
 
     # ------------------------------------------------------------ routing
-    def _send_frame(self, dest: int, frame: bytes) -> None:
+    def _send_frame(self, dest: int, segments: list[Any]) -> None:
         try:
-            self._rings[dest].send(frame, self._abort_flag)
+            self._rings[dest].send_segments(segments, self._abort_flag)
         except RingAborted:
             self._check_abort()
             raise
+        self._tx_frames += 1
+
+    def _enqueue_frame(self, dest: int, segments: list[Any]) -> None:
+        """Queue one encoded frame for ``dest``, coalescing small frames
+        into a single ring write.  Large frames flush the queue first, so
+        the per-destination wire order always equals the send order (the
+        seq-based non-overtaking rule needs nothing beyond that)."""
+        if (not self._coalesce
+                or codec.frame_nbytes(segments) > COALESCE_MAX_FRAME):
+            self._flush_dest(dest)
+            self._send_frame(dest, segments)
+            return
+        pend = self._pending[dest]
+        pend.append(segments)
+        self._pending_bytes[dest] += codec.frame_nbytes(segments)
+        if (self._pending_bytes[dest] >= COALESCE_MAX_BYTES
+                or len(pend) >= COALESCE_MAX_FRAMES):
+            self._flush_dest(dest)
+
+    def _flush_dest(self, dest: int) -> None:
+        pend = self._pending[dest]
+        if not pend:
+            return
+        self._pending[dest] = []
+        self._pending_bytes[dest] = 0
+        if len(pend) == 1:
+            self._send_frame(dest, pend[0])
+        else:
+            self._tx_batches += 1
+            self._tx_coalesced += len(pend)
+            self._send_frame(dest, codec.encode_batch(pend))
+
+    def flush_frames(self) -> None:
+        """Put every queued frame on the wire.
+
+        Called before any operation that can block this rank: a rank
+        registered as waiting in the deadlock table then provably has
+        nothing buffered (its frames are visible to peers and to the
+        detector via ``undeposited()``), and a rank that is *not*
+        waiting cannot be part of a stuck cycle — so coalescing is
+        invisible to deadlock detection and to liveness.
+        """
+        for dest in range(self.nranks):
+            self._flush_dest(dest)
 
     def deliver(self, context: str, env: Envelope) -> None:
         if env.dest == self.myrank:
@@ -241,7 +274,7 @@ class ShmWorld(SimWorld):
         if not (0 <= env.dest < self.nranks):
             raise ValueError(
                 f"invalid destination rank {env.dest} (nranks={self.nranks})")
-        self._send_frame(env.dest, encode_frame(_KIND_DELIVER, context, env))
+        self._enqueue_frame(env.dest, codec.encode(_KIND_DELIVER, context, env))
 
     def stash_dropped(self, context: str, env: Envelope, recoverable: bool) -> None:
         """Injected drops live in the *destination's* local stores so the
@@ -250,7 +283,33 @@ class ShmWorld(SimWorld):
             super().stash_dropped(context, env, recoverable)
             return
         kind = _KIND_DROP_RECOVERABLE if recoverable else _KIND_DROP_TOMBSTONE
-        self._send_frame(env.dest, encode_frame(kind, context, env, recoverable))
+        self._enqueue_frame(
+            env.dest, codec.encode(kind, context, env, recoverable))
+
+    # -------------------------------------------- flush-before-blocking
+    def match(self, context: str, rank: int, source: int, tag: int) -> Envelope:
+        self.flush_frames()
+        return super().match(context, rank, source, tag)
+
+    def match_timeout(self, context: str, rank: int, source: int, tag: int,
+                      timeout_s: float) -> Envelope | None:
+        self.flush_frames()
+        return super().match_timeout(context, rank, source, tag, timeout_s)
+
+    def try_match(self, context: str, rank: int, source: int, tag: int) -> Envelope | None:
+        self.flush_frames()
+        return super().try_match(context, rank, source, tag)
+
+    def mailbox_cond(self, rank: int) -> threading.Condition:
+        # The waitsome/waitall loop blocks on the raw condition rather
+        # than through match(); it fetches the condition exactly once,
+        # before acquiring it, and generates no outbound frames while
+        # waiting — so flushing here keeps the nothing-queued-while-
+        # blocked invariant (and means the flush inside try_match() is a
+        # no-op when the wait loop re-tests under the held lock, which a
+        # blocking ring write must never run under).
+        self.flush_frames()
+        return super().mailbox_cond(rank)
 
     # --------------------------------------------------------- collectives
     def exchange(self, context: str, seq: int, rank: int, value: Any,
@@ -289,19 +348,39 @@ class ShmWorld(SimWorld):
                 # Wake local waiters; the failing rank ships the real cause.
                 super().abort("peer rank failed (shared abort flag raised)")
                 return
-            decoded = decode_frame(frame)
-            if decoded is None:  # stop marker
+            fkind = frame[0]
+            if fkind == codec.F_STOP:
                 ring.mark_deposited()
                 return
-            kind, context, recoverable, env = decoded
-            if kind == _KIND_DELIVER:
-                SimWorld.deliver(self, context, env)
+            if fkind == codec.F_BATCH:
+                self._deposit_batch(frame)
             else:
-                SimWorld.stash_dropped(self, context, env, recoverable)
+                kind, context, recoverable, env = codec.decode(frame)
+                if kind == _KIND_DELIVER:
+                    SimWorld.deliver(self, context, env)
+                else:
+                    SimWorld.stash_dropped(self, context, env, recoverable)
             # Only now has the frame truly landed: between ring.recv() and
             # here it was in no ring and no mailbox, and the deadlock
             # detector must still count it as in flight (undeposited()).
             ring.mark_deposited()
+
+    def _deposit_batch(self, frame: bytearray) -> None:
+        """Unpack a coalesced frame in send order; consecutive deliveries
+        land under one mailbox-lock acquisition (``deliver_batch``),
+        decoded payloads stay zero-copy views into ``frame``."""
+        run: list[tuple[str, Envelope]] = []
+        for sub in codec.iter_batch(frame):
+            kind, context, recoverable, env = codec.decode(sub)
+            if kind == _KIND_DELIVER:
+                run.append((context, env))
+                continue
+            if run:
+                SimWorld.deliver_batch(self, run)
+                run = []
+            SimWorld.stash_dropped(self, context, env, recoverable)
+        if run:
+            SimWorld.deliver_batch(self, run)
 
     def shutdown_receiver(self) -> None:
         """Unblock and join the receiver (call after the final barrier)."""
@@ -310,12 +389,41 @@ class ShmWorld(SimWorld):
             return
         self._receiver = None
         try:
-            self._rings[self.myrank].send(_STOP_FRAME, self._abort_flag)
-        except RingAborted:
+            self.flush_frames()  # nothing may stay queued past shutdown
+            self._rings[self.myrank].send(codec.STOP_FRAME, self._abort_flag)
+        except (RingAborted, SimMPIError):
             # Aborted with a full ring: the receiver is exiting (or gone)
             # via the abort flag anyway.
             pass
         t.join(timeout=self.timeout_s)
+
+    # ------------------------------------------------------------ metrics
+    def export_transport_metrics(self) -> None:
+        """Publish coalescing and adaptive-polling state into this rank's
+        metrics registry (the PR-3 surface): the effective ring poll
+        interval plus spin/park and frame/batch counters."""
+        if self.obs is None:
+            return
+        m = self.obs[self.myrank].metrics
+        rx = self._rings[self.myrank].rx_backoff
+        m.gauge("shm_poll_interval_us",
+                "effective ring poll interval (EWMA of recent parks)"
+                ).set(rx.poll_interval_us)
+        m.counter("shm_poll_spins_total",
+                  "blocked ring retries resolved in the spin phase"
+                  ).inc(rx.spins_total
+                        + sum(r.tx_backoff.spins_total for r in self._rings))
+        m.counter("shm_poll_parks_total",
+                  "blocked ring retries that parked (timed sleep)"
+                  ).inc(rx.parks_total
+                        + sum(r.tx_backoff.parks_total for r in self._rings))
+        m.counter("shm_frames_sent_total",
+                  "wire frames this rank published").inc(self._tx_frames)
+        m.counter("shm_batches_sent_total",
+                  "coalesced multi-frame writes").inc(self._tx_batches)
+        m.counter("shm_frames_coalesced_total",
+                  "frames shipped inside coalesced writes"
+                  ).inc(self._tx_coalesced)
 
 
 #: transport context for the end-of-job barrier (never collides with user
@@ -325,10 +433,12 @@ _FINAL_CONTEXT = "__final__"
 
 def _worker_main(rank: int, spec: JobSpec, rings: list[ShmRing],
                  abort_flag: ShmFlag, wait_table: ShmWaitTable | None,
-                 conn, fn: Callable[..., Any], args: tuple, kwargs: dict) -> None:
+                 conn, fn: Callable[..., Any], args: tuple, kwargs: dict,
+                 coalesce: bool = True) -> None:
     """Body of one rank process (entered via fork)."""
     rebase_seqno(rank)
-    world = ShmWorld(spec, rank, rings, abort_flag, wait_table)
+    world = ShmWorld(spec, rank, rings, abort_flag, wait_table,
+                     coalesce=coalesce)
     world.start_receiver()
     from repro.mpi.comm import SimComm
 
@@ -340,6 +450,7 @@ def _worker_main(rank: int, spec: JobSpec, rings: list[ShmRing],
         # so the receiver can be stopped and the mailboxes are complete.
         coll.tree_allgather(world, _FINAL_CONTEXT, rank, spec.nranks, 0, None)
         world.shutdown_receiver()
+        world.export_transport_metrics()
         if world.sanitizer is not None:
             world.sanitizer.finalize(world)
         inj = world.injector
@@ -378,8 +489,12 @@ class MpShmBackend(CommBackend):
 
     name = "mp-shm"
 
-    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES,
+                 coalesce: bool = True) -> None:
         self.ring_bytes = int(ring_bytes)
+        #: frame coalescing is the default fast path; ``coalesce=False``
+        #: forces one ring write per envelope (A/B benching, debugging)
+        self.coalesce = bool(coalesce)
 
     def launch(self, spec: JobSpec, fn: Callable[..., Any],
                args: tuple, kwargs: dict) -> BackendRun:
@@ -406,7 +521,7 @@ class MpShmBackend(CommBackend):
             ctx.Process(
                 target=_worker_main,
                 args=(r, spec, rings, abort_flag, wait_table,
-                      pipes[r][1], fn, args, kwargs),
+                      pipes[r][1], fn, args, kwargs, self.coalesce),
                 name=f"simmpi-rank-{r}", daemon=True)
             for r in range(n)
         ]

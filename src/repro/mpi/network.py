@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mpi.codec import pickled_size
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -119,9 +120,12 @@ LOOPBACK = NetworkModel(latency_us=1.0, bandwidth_bytes_per_us=1000.0, jitter_si
 def payload_nbytes(obj: object) -> int:
     """Best-effort byte size of a message payload.
 
-    NumPy arrays report their buffer size; bytes-like objects their length;
-    everything else is sized via pickling (matching what a real MPI layer
-    shipping pickled objects would transmit).
+    NumPy arrays report their buffer size; bytes-like objects their
+    length; everything else is sized via pickling (matching what a real
+    MPI layer shipping pickled objects would transmit), delegated to
+    :func:`repro.mpi.codec.pickled_size` — module-scope import, and an
+    exact memo for repeated message signatures, so the per-send sizing
+    cost on the hot path is a dict lookup instead of a serialization.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
@@ -129,6 +133,4 @@ def payload_nbytes(obj: object) -> int:
         return len(obj)
     if obj is None:
         return 0
-    import pickle
-
-    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    return pickled_size(obj)

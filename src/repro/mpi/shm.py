@@ -25,7 +25,10 @@ writer sleeps holding it while the ring is full, which the reader must be
 able to drain out of.  Frames stream: a writer holding the frame lock may
 publish a frame larger than the free space and trickle it in as the
 reader drains — oversized payloads need no chunking layer, and frames
-from one writer are never interleaved with another's.
+from one writer are never interleaved with another's.  Blocked sides
+wait through a :class:`BackoffController` (spin-then-park with a doubling
+park interval) instead of a fixed poll constant, and each controller
+exports its effective poll interval for the metrics registry.
 """
 
 from __future__ import annotations
@@ -40,14 +43,71 @@ _TAIL = 8          # u64: bytes published (writer-owned, lock-held)
 _DEPOSITED = 16    # u64: bytes fully processed by the reader (reader-owned)
 _HEADER = 24
 
-#: polling interval while a ring is full (writer) or empty (reader); the
-#: first few retries yield only, so the hot rendezvous path stays fast
-_POLL_S = 0.0002
-_SPIN = 20
-
 
 class RingAborted(RuntimeError):
     """The job abort flag was raised while blocked on a ring."""
+
+
+class BackoffController:
+    """Spin-then-park waiter for ring full/empty conditions.
+
+    Replaces the fixed spin-count/poll-interval constants: the first
+    ``spin`` retries yield the GIL only (``sleep(0)``), so the hot
+    rendezvous path — peer already mid-write — resolves at memory speed;
+    past that the waiter parks, doubling the park interval from
+    ``park_min_s`` up to ``park_max_s``, so a long-idle receiver costs
+    hundreds of wakeups per second instead of thousands while a briefly
+    blocked one still reacts within tens of microseconds.  Any progress
+    resets to the spin phase.
+
+    The controller keeps counters and an EWMA of recent park intervals
+    so the *effective* poll interval is observable: the mp-shm backend
+    exports it per rank through the metrics registry
+    (``shm_poll_interval_us``).  State is plain per-process attributes —
+    each forked rank mutates its own copy, which is exactly the per-rank
+    granularity the export wants.
+    """
+
+    __slots__ = ("spin", "park_min_s", "park_max_s", "spins_total",
+                 "parks_total", "parked_s_total", "_streak", "_park_s",
+                 "_ewma_s")
+
+    def __init__(self, spin: int = 20, park_min_s: float = 20e-6,
+                 park_max_s: float = 2e-3) -> None:
+        self.spin = int(spin)
+        self.park_min_s = float(park_min_s)
+        self.park_max_s = float(park_max_s)
+        self.spins_total = 0
+        self.parks_total = 0
+        self.parked_s_total = 0.0
+        self._streak = 0
+        self._park_s = self.park_min_s
+        self._ewma_s = self.park_min_s
+
+    def pause(self) -> None:
+        """One blocked retry: yield while spinning, then park and grow."""
+        self._streak += 1
+        if self._streak <= self.spin:
+            self.spins_total += 1
+            time.sleep(0.0)
+            return
+        park = self._park_s
+        self.parks_total += 1
+        self.parked_s_total += park
+        self._ewma_s += 0.125 * (park - self._ewma_s)
+        time.sleep(park)
+        self._park_s = min(park * 2.0, self.park_max_s)
+
+    def reset(self) -> None:
+        """Progress was made: back to the spin phase at the floor."""
+        self._streak = 0
+        self._park_s = self.park_min_s
+
+    @property
+    def poll_interval_us(self) -> float:
+        """Effective poll interval (EWMA of recent parks), microseconds;
+        the park floor when the controller never left the spin phase."""
+        return self._ewma_s * 1e6
 
 
 def _u64(buf: memoryview, off: int) -> int:
@@ -102,6 +162,10 @@ class ShmRing:
         _put_u64(buf, _DEPOSITED, 0)
         self._lock = ctx.Lock()
         self._clock = ctx.Lock()  # counter guard; never held while blocked
+        #: adaptive full/empty waiters; forked per process, so each rank
+        #: paces (and reports) its own side independently
+        self.tx_backoff = BackoffController()
+        self.rx_backoff = BackoffController()
 
     def _counters(self) -> tuple[int, int]:
         with self._clock:
@@ -110,24 +174,39 @@ class ShmRing:
     # ------------------------------------------------------------- writer
     def send(self, payload: bytes, abort: ShmFlag) -> None:
         """Publish one frame; blocks (streaming) while the ring is full."""
-        with self._lock:
-            self._write(struct.pack("<Q", len(payload)), abort)
-            self._write(payload, abort)
+        self.send_segments((payload,), abort)
 
-    def _write(self, data: bytes, abort: ShmFlag) -> None:
+    def send_segments(self, segments: Any, abort: ShmFlag) -> int:
+        """Publish one frame gathered from several bytes-like segments.
+
+        A vectored write: one u64 length prefix covering the segment
+        total, then each segment streamed in order — the concatenated
+        frame is never materialized, so memoryview segments (array
+        bodies from :mod:`repro.mpi.codec`) go from the source buffer
+        straight into shared memory.  Returns the frame length.
+        """
+        total = 0
+        for seg in segments:
+            total += seg.nbytes if isinstance(seg, memoryview) else len(seg)
+        with self._lock:
+            self._write(struct.pack("<Q", total), abort)
+            for seg in segments:
+                self._write(seg, abort)
+        return total
+
+    def _write(self, data: Any, abort: ShmFlag) -> None:
         buf = self._shm.buf
         mv = memoryview(data)
-        spins = 0
+        back = self.tx_backoff
         while len(mv):
             head, tail = self._counters()
             free = self.capacity - (tail - head)
             if free == 0:
                 if abort.is_set():
                     raise RingAborted("job aborted while ring full")
-                spins += 1
-                time.sleep(0.0 if spins < _SPIN else _POLL_S)
+                back.pause()
                 continue
-            spins = 0
+            back.reset()
             n = min(len(mv), free)
             pos = tail % self.capacity
             first = min(n, self.capacity - pos)
@@ -141,32 +220,33 @@ class ShmRing:
             mv = mv[n:]
 
     # ------------------------------------------------------------- reader
-    def recv(self, abort: ShmFlag) -> bytes:
+    def recv(self, abort: ShmFlag) -> bytearray:
         """Consume one frame; blocks while the ring is empty.
 
-        Raises :class:`RingAborted` when the abort flag goes up while
-        waiting (mid-frame reads finish normally: the lock-holding writer
-        streams the rest even during abort only if it can — so mid-frame we
-        keep honouring the flag too).
+        Returns a freshly allocated (hence writable, receiver-owned)
+        bytearray — the codec's zero-copy decode wraps array payloads
+        around it directly.  Raises :class:`RingAborted` when the abort
+        flag goes up while waiting (mid-frame reads finish normally: the
+        lock-holding writer streams the rest even during abort only if
+        it can — so mid-frame we keep honouring the flag too).
         """
         (length,) = struct.unpack("<Q", self._read(8, abort))
         return self._read(length, abort)
 
-    def _read(self, n: int, abort: ShmFlag) -> bytes:
+    def _read(self, n: int, abort: ShmFlag) -> bytearray:
         buf = self._shm.buf
         out = bytearray(n)
         got = 0
-        spins = 0
+        back = self.rx_backoff
         while got < n:
             head, tail = self._counters()
             avail = tail - head
             if avail == 0:
                 if abort.is_set():
                     raise RingAborted("job aborted while ring empty")
-                spins += 1
-                time.sleep(0.0 if spins < _SPIN else _POLL_S)
+                back.pause()
                 continue
-            spins = 0
+            back.reset()
             take = min(n - got, avail)
             pos = head % self.capacity
             first = min(take, self.capacity - pos)
@@ -178,7 +258,7 @@ class ShmRing:
             with self._clock:
                 _put_u64(buf, _HEAD, head + take)
             got += take
-        return bytes(out)
+        return out
 
     def pending(self) -> int:
         """Unconsumed bytes currently in the ring (diagnostics)."""

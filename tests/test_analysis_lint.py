@@ -292,6 +292,60 @@ def test_ra007_src_tree_is_clean():
     assert findings == [], [f.format() for f in findings]
 
 
+# --------------------------------------------------------------------- RA008
+def _mpi_mod(tmp_path, source, rel="repro/mpi/mod.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def test_ra008_flags_pickle_dumps_in_mpi_layer(tmp_path):
+    path = _mpi_mod(tmp_path, """
+import pickle
+
+def frame(env):
+    return pickle.dumps(env)
+""")
+    findings = lint_file(path, rules=["RA008"])
+    assert _codes(findings) == ["RA008"]
+    assert "repro.mpi.codec" in findings[0].message
+
+
+def test_ra008_codec_is_sanctioned_and_loads_passes(tmp_path):
+    codec = _mpi_mod(tmp_path, """
+import pickle
+
+def encode(obj):
+    return pickle.dumps(obj)
+""", rel="repro/mpi/codec.py")
+    assert lint_file(codec, rules=["RA008"]) == []
+
+    reader = _mpi_mod(tmp_path, """
+import pickle
+
+def decode(blob):
+    return pickle.loads(blob)
+""")
+    assert lint_file(reader, rules=["RA008"]) == []
+
+
+def test_ra008_only_applies_inside_repro_mpi(tmp_path):
+    findings = _lint(tmp_path, """
+import pickle
+
+def snapshot(state):
+    return pickle.dumps(state)
+""", rules=["RA008"])
+    assert findings == []
+
+
+def test_ra008_mpi_tree_is_clean():
+    """The MPI layer itself serializes only through the codec."""
+    findings = [f for f in lint_paths(["src/repro/mpi"]) if f.rule == "RA008"]
+    assert findings == [], [f.format() for f in findings]
+
+
 # --------------------------------------------------------------- suppression
 def test_noqa_suppresses_single_code(tmp_path):
     findings = _lint(tmp_path, """

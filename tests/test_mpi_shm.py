@@ -1,8 +1,10 @@
 """Unit tests for the mp-shm backend's shared-memory primitives.
 
-Covers the byte ring (framing, wrap-around, oversize streaming, abort),
-the cross-process wait table, the wire frame codec, and sequence-number
+Covers the byte ring (framing, wrap-around, oversize streaming, vectored
+segment writes, abort), the adaptive backoff controller, the
+cross-process wait table, the wire frame codec, and sequence-number
 rebasing — everything below :class:`~repro.mpi.mpshm.MpShmBackend`.
+(Deep codec coverage lives in ``tests/test_mpi_codec.py``.)
 """
 
 from __future__ import annotations
@@ -15,13 +17,13 @@ import threading
 import numpy as np
 import pytest
 
+from repro.mpi import codec
 from repro.mpi import message as msg_mod
 from repro.mpi.message import Envelope
 from repro.mpi.mpshm import (_KIND_DELIVER, _KIND_DROP_RECOVERABLE,
-                             _KIND_DROP_TOMBSTONE, _STOP_FRAME, decode_frame,
-                             encode_frame)
-from repro.mpi.shm import (WAIT_TABLE_MAX_RANKS, RingAborted, ShmFlag,
-                           ShmRing, ShmWaitTable)
+                             _KIND_DROP_TOMBSTONE)
+from repro.mpi.shm import (WAIT_TABLE_MAX_RANKS, BackoffController,
+                           RingAborted, ShmFlag, ShmRing, ShmWaitTable)
 
 
 @pytest.fixture()
@@ -190,6 +192,76 @@ class TestShmWaitTable:
             ShmWaitTable(WAIT_TABLE_MAX_RANKS + 1, ctx)
 
 
+# --------------------------------------------------------------- backoff
+class TestBackoffController:
+    def test_spins_then_parks_with_growth(self):
+        b = BackoffController(spin=3, park_min_s=1e-6, park_max_s=8e-6)
+        for _ in range(3):
+            b.pause()
+        assert (b.spins_total, b.parks_total) == (3, 0)
+        for _ in range(5):
+            b.pause()
+        assert b.parks_total == 5
+        # Doubling from the floor, capped: 1, 2, 4, 8, 8 (microseconds).
+        assert b.parked_s_total == pytest.approx(23e-6)
+        assert b._park_s == 8e-6
+
+    def test_reset_returns_to_spin_phase(self):
+        b = BackoffController(spin=2, park_min_s=1e-6, park_max_s=8e-6)
+        for _ in range(6):
+            b.pause()
+        b.reset()
+        assert b._park_s == b.park_min_s
+        b.pause()
+        assert b.spins_total >= 3  # back to yielding, not parking
+
+    def test_poll_interval_reports_floor_then_ewma(self):
+        b = BackoffController(spin=0, park_min_s=1e-4, park_max_s=1e-4)
+        assert b.poll_interval_us == pytest.approx(100.0)
+        b.pause()
+        assert b.poll_interval_us == pytest.approx(100.0)
+
+    def test_ring_wait_counters(self, ring, flag):
+        ring.send(b"abc", flag)
+        ring.recv(flag)
+        # Frame was already there: the reader never had to park.
+        assert ring.rx_backoff.parks_total == 0
+
+        def late_send():
+            ring.send(b"later", flag)
+
+        t = threading.Timer(0.05, late_send)
+        t.start()
+        try:
+            assert bytes(ring.recv(flag)) == b"later"
+        finally:
+            t.cancel()
+        # ~50 ms of empty ring: the reader must have parked.
+        assert ring.rx_backoff.parks_total > 0
+        assert ring.rx_backoff.poll_interval_us >= 20.0
+
+
+# ------------------------------------------------------- vectored writes
+class TestSendSegments:
+    def test_segments_concatenate_into_one_frame(self, ring, flag):
+        arr = np.arange(8, dtype=np.float64)
+        n = ring.send_segments(
+            [b"head", memoryview(arr).cast("B"), b"tail"], flag)
+        assert n == 4 + arr.nbytes + 4
+        frame = ring.recv(flag)
+        assert isinstance(frame, bytearray)
+        assert frame[:4] == b"head" and frame[-4:] == b"tail"
+        assert np.frombuffer(frame, dtype=np.float64,
+                             count=8, offset=4).tolist() == arr.tolist()
+
+    def test_interleaved_with_plain_sends(self, ring, flag):
+        ring.send(b"one", flag)
+        ring.send_segments([b"tw", b"o"], flag)
+        ring.send(b"three", flag)
+        assert [bytes(ring.recv(flag)) for _ in range(3)] == \
+            [b"one", b"two", b"three"]
+
+
 # ------------------------------------------------------------ frame codec
 class TestFrameCodec:
     def _env(self, payload, **kw):
@@ -199,8 +271,8 @@ class TestFrameCodec:
 
     def test_pickle_roundtrip(self):
         env = self._env({"a": [1, 2], "b": "text"})
-        kind, context, recoverable, out = decode_frame(
-            encode_frame(_KIND_DELIVER, "world", env))
+        kind, context, recoverable, out = codec.decode(
+            codec.encode_bytes(_KIND_DELIVER, "world", env))
         assert kind == _KIND_DELIVER
         assert context == "world"
         assert recoverable is True
@@ -213,29 +285,31 @@ class TestFrameCodec:
     def test_ndarray_fast_path(self):
         arr = np.arange(24, dtype=np.float64).reshape(4, 6)[:, 1:4]  # strided
         env = self._env(arr)
-        frame = encode_frame(_KIND_DELIVER, "world", env)
-        assert frame[0] == 1  # _F_NDARRAY: no whole-array pickling
-        _, _, _, out = decode_frame(frame)
+        frame = codec.encode_bytes(_KIND_DELIVER, "world", env)
+        assert frame[0] == codec.F_NDARRAY  # no whole-array pickling
+        _, _, _, out = codec.decode(frame)
         assert isinstance(out.payload, np.ndarray)
         assert out.payload.dtype == arr.dtype
         assert out.payload.shape == arr.shape
         np.testing.assert_array_equal(out.payload, arr)
-        assert out.payload.flags.owndata or out.payload.base is None
+        # Decoded from read-only bytes: the payload is a private copy.
+        assert out.payload.flags.writeable
 
     def test_object_array_falls_back_to_pickle(self):
         arr = np.array([{"x": 1}, None], dtype=object)
-        frame = encode_frame(_KIND_DELIVER, "world", self._env(arr))
-        assert frame[0] == 0  # _F_PICKLE
-        _, _, _, out = decode_frame(frame)
+        frame = codec.encode_bytes(_KIND_DELIVER, "world", self._env(arr))
+        assert frame[0] == codec.F_PICKLE
+        _, _, _, out = codec.decode(frame)
         assert list(out.payload) == [{"x": 1}, None]
 
     def test_drop_kinds_and_stop(self):
         env = self._env(None)
         for kind, rec in ((_KIND_DROP_RECOVERABLE, True),
                           (_KIND_DROP_TOMBSTONE, False)):
-            k, _, r, _ = decode_frame(encode_frame(kind, "world", env, rec))
+            k, _, r, _ = codec.decode(
+                codec.encode_bytes(kind, "world", env, rec))
             assert (k, r) == (kind, rec)
-        assert decode_frame(_STOP_FRAME) is None
+        assert codec.decode(codec.STOP_FRAME) is None
 
 
 # ----------------------------------------------------------- seqno rebase
