@@ -15,6 +15,7 @@ from repro.cca.ports import GoPort
 from repro.perf import Mastermind, insert_proxy, perf_params
 from repro.tau import function_summary
 from repro.tau.component import TauMeasurementComponent
+from repro.util.rng import make_rng
 
 
 # --- 1. Declare a port interface, with perf_params mark-up ------------- #
@@ -51,7 +52,7 @@ class Driver(Component, GoPort):
 
     def go(self) -> int:
         solver = self.services.get_port("solver")
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for q in (1_000, 10_000, 100_000):
             for _ in range(5):
                 solver.solve(rng.random(q))

@@ -1,0 +1,136 @@
+"""Project-wide symbol table and interprocedural call graph.
+
+Built from the per-module :class:`~repro.analysis.symbols.ModuleSummary`
+IR.  Two resolution policies coexist:
+
+* **strict** — a call site resolves only when it names exactly one known
+  function (direct module-local call, alias-qualified call, or a
+  ``self.method`` whose defining class has a single candidate in the
+  hierarchy).  The flow rules use this so ambiguity never manufactures a
+  false positive.
+* **CHA** — class-hierarchy style: an attribute call ``x.m(...)`` resolves
+  to *every* known method named ``m``.  The reachability set used by the
+  runtime-vs-static crosscheck uses this, because an over-approximation is
+  exactly what "no static blind spots" requires.
+
+Nested ``def``s get an implicit parent→child edge: defining a closure is
+treated as (potentially) calling it, which keeps driver patterns like
+``run_scmd``'s ``rank_main`` reachable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.analysis.symbols import CallSite, FuncInfo, ModuleSummary
+
+
+class SymbolTable:
+    """Fully-qualified function/class index over a set of module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        #: fq function name -> FuncInfo
+        self.functions: dict[str, FuncInfo] = {}
+        #: method name -> list of fq function names (CHA index)
+        self.method_index: dict[str, list[str]] = defaultdict(list)
+        #: fq class name -> list of method names
+        self.classes: dict[str, list[str]] = {}
+        #: module name -> alias map (local name -> dotted target)
+        self.aliases: dict[str, dict[str, str]] = {}
+        self.summaries: list[ModuleSummary] = list(summaries)
+        for s in self.summaries:
+            self.aliases[s.module] = s.aliases
+            for qual, methods in s.classes.items():
+                self.classes[f"{s.module}.{qual}"] = methods
+            for fn in s.functions:
+                self.functions[fn.fq] = fn
+                self.method_index[fn.name.rsplit(".", 1)[-1]].append(fn.fq)
+
+    def _expand(self, module: str, name: str) -> str:
+        """Rewrite a dotted call name through the module's import aliases."""
+        head, _, rest = name.partition(".")
+        target = self.aliases.get(module, {}).get(head)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
+
+    def resolve(self, caller: FuncInfo, site: CallSite,
+                cha: bool = False) -> list[FuncInfo]:
+        """Candidate callees for one call site.
+
+        Strict mode returns at most one candidate; CHA mode may return
+        several (every method sharing the trailing name).
+        """
+        name = site.name
+        out: list[FuncInfo] = []
+
+        # self.method() -> method of the enclosing class (or a subclass
+        # override; strict mode requires the hierarchy to be unambiguous).
+        if name.startswith("self.") and caller.cls is not None:
+            meth = name[len("self."):]
+            if "." not in meth:
+                fq_exact = f"{caller.module}.{caller.cls}.{meth}"
+                if fq_exact in self.functions:
+                    return [self.functions[fq_exact]]
+                if cha:
+                    return [self.functions[fq]
+                            for fq in self.method_index.get(meth, ())]
+                return []
+
+        # Module-local function, including nested defs of the caller.
+        if "." not in name:
+            for scope in (f"{caller.name}.{name}",
+                          f"{caller.cls}.{name}" if caller.cls else None,
+                          name):
+                if scope is None:
+                    continue
+                fq = f"{caller.module}.{scope}"
+                if fq in self.functions:
+                    return [self.functions[fq]]
+            expanded = self._expand(caller.module, name)
+            if expanded in self.functions:
+                return [self.functions[expanded]]
+        else:
+            expanded = self._expand(caller.module, name)
+            if expanded in self.functions:
+                return [self.functions[expanded]]
+            # Class instantiation resolves to __init__.
+            if f"{expanded}.__init__" in self.functions:
+                return [self.functions[f"{expanded}.__init__"]]
+
+        if cha:
+            meth = name.rsplit(".", 1)[-1]
+            out = [self.functions[fq] for fq in self.method_index.get(meth, ())]
+        return out
+
+
+class CallGraph:
+    """Edges between fully-qualified functions, with reachability."""
+
+    def __init__(self, table: SymbolTable, cha: bool = False) -> None:
+        self.table = table
+        self.edges: dict[str, set[str]] = defaultdict(set)
+        for fn in table.functions.values():
+            if fn.parent is not None:
+                parent_fq = f"{fn.module}.{fn.parent}"
+                if parent_fq in table.functions:
+                    self.edges[parent_fq].add(fn.fq)
+            for site in fn.calls():
+                for callee in table.resolve(fn, site, cha=cha):
+                    self.edges[fn.fq].add(callee.fq)
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.table.functions]
+        while stack:
+            fq = stack.pop()
+            if fq in seen:
+                continue
+            seen.add(fq)
+            stack.extend(self.edges.get(fq, ()))
+        return seen
+
+    def callees(self, fq: str) -> Iterator[FuncInfo]:
+        for c in self.edges.get(fq, ()):
+            yield self.table.functions[c]

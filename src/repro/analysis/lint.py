@@ -8,6 +8,16 @@ depends on.  This module walks Python sources, runs the RA rule catalogue
 (:mod:`repro.analysis.rules`) over each file's AST, and applies
 ``# ra: noqa[RAxxx]`` line suppressions.
 
+Two entry layers:
+
+* :func:`lint_file` / :func:`lint_paths` — the classic per-file lexical
+  pass (suppressions applied), unchanged public contract.
+* :func:`make_context` / :func:`lint_tree` / :func:`apply_suppressions` —
+  the raw building blocks the whole-program engine
+  (:mod:`repro.analysis.engine`) composes so it can track *which* noqa
+  lines actually fired (unused-suppression detection) and cache raw
+  findings per content hash.
+
 Usage (library)::
 
     from repro.analysis import lint_paths
@@ -19,7 +29,9 @@ or from the shell: ``python -m repro.analysis src/ --format=json``.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -76,18 +88,38 @@ class FileContext:
         return any(self.posix.endswith(s) for s in suffixes)
 
 
+def _parse_noqa_comment(text: str) -> set[str] | None:
+    m = _NOQA_RE.search(text)
+    if not m:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return {"*"}
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
 def _collect_noqa(source: str) -> dict[int, set[str]]:
-    """Map line numbers to the rule codes suppressed on that line."""
+    """Map line numbers to the rule codes suppressed on that line.
+
+    Token-based: only real ``#`` comments count, so a noqa marker quoted
+    inside a string literal (test fixtures embed whole modules as strings)
+    neither suppresses findings nor registers as an unused suppression.
+    Falls back to a line scan when the file does not tokenize (the rules
+    themselves already degrade to an RA000 syntax-error finding).
+    """
     out: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(text)
-        if not m:
-            continue
-        codes = m.group("codes")
-        if codes is None:
-            out[lineno] = {"*"}
-        else:
-            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                codes = _parse_noqa_comment(tok.string)
+                if codes is not None:
+                    out[tok.start[0]] = codes
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        out = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            codes = _parse_noqa_comment(text)
+            if codes is not None:
+                out[lineno] = codes
     return out
 
 
@@ -105,31 +137,63 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(files)
 
 
-def lint_file(path: str | Path, rules: Sequence[str] | None = None) -> list[Finding]:
-    """Run the rule catalogue over one file; returns unsuppressed findings."""
-    from repro.analysis.rules import RULES
+def make_context(path: str | Path, source: str | None = None) -> FileContext | Finding:
+    """Parse one module into a :class:`FileContext`.
 
+    Returns an ``RA000`` :class:`Finding` instead when the file does not
+    parse — callers surface it like any other finding.
+    """
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
+    if source is None:
+        source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [Finding("RA000", str(path), exc.lineno or 1, exc.offset or 0,
-                        f"syntax error: {exc.msg}")]
-    ctx = FileContext(path=path, source=source, tree=tree,
-                      noqa=_collect_noqa(source))
+        return Finding("RA000", str(path), exc.lineno or 1, exc.offset or 0,
+                       f"syntax error: {exc.msg}")
+    return FileContext(path=path, source=source, tree=tree,
+                       noqa=_collect_noqa(source))
+
+
+def lint_tree(ctx: FileContext, rules: Sequence[str] | None = None) -> list[Finding]:
+    """Run the lexical rule catalogue; returns RAW findings (no noqa)."""
+    from repro.analysis.rules import RULES
+
     selected = set(rules) if rules is not None else None
     findings: list[Finding] = []
     for code, rule in RULES.items():
         if selected is not None and code not in selected:
             continue
         findings.extend(rule.check(ctx))
-    kept = []
+    return findings
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], noqa: dict[int, set[str]],
+) -> tuple[list[Finding], set[int]]:
+    """Drop findings suppressed by ``# ra: noqa`` lines.
+
+    Returns ``(kept, used_lines)`` where ``used_lines`` is the set of noqa
+    line numbers that suppressed at least one finding — the complement is
+    the engine's unused-suppression (RA012) input.
+    """
+    kept: list[Finding] = []
+    used: set[int] = set()
     for f in findings:
-        codes = ctx.noqa.get(f.line)
+        codes = noqa.get(f.line)
         if codes is not None and ("*" in codes or f.rule in codes):
+            used.add(f.line)
             continue
         kept.append(f)
+    return kept, used
+
+
+def lint_file(path: str | Path, rules: Sequence[str] | None = None) -> list[Finding]:
+    """Run the rule catalogue over one file; returns unsuppressed findings."""
+    ctx = make_context(path)
+    if isinstance(ctx, Finding):
+        return [ctx]
+    kept, _ = apply_suppressions(lint_tree(ctx, rules), ctx.noqa)
     kept.sort(key=lambda f: (f.line, f.col, f.rule))
     return kept
 

@@ -295,7 +295,9 @@ class BroadExceptRule(Rule):
     re-raise, or an ``except Exception`` whose body only ``pass``\\ es.
 
     Swallowed exceptions hide rank failures: the cohort diverges instead
-    of the job failing loudly.
+    of the job failing loudly.  A handler that bare-re-raises at its top
+    level (``except ...: cleanup(); raise``) swallows nothing — it is the
+    standard cleanup idiom and is never flagged, whatever it catches.
     """
 
     code = "RA005"
@@ -306,6 +308,8 @@ class BroadExceptRule(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
+            if self._bare_reraises(node):
+                continue  # cleanup-then-propagate: nothing is swallowed
             if node.type is None:
                 findings.append(self.finding(
                     ctx, node, "bare 'except:' catches SystemExit/"
@@ -326,6 +330,13 @@ class BroadExceptRule(Rule):
                     ctx, node, "'except Exception: pass' silently swallows "
                     "all errors"))
         return findings
+
+    @staticmethod
+    def _bare_reraises(handler: ast.ExceptHandler) -> bool:
+        """A bare ``raise`` (no exception expression) at the handler's top
+        statement level: the caught exception always propagates."""
+        return any(isinstance(s, ast.Raise) and s.exc is None
+                   for s in handler.body)
 
     @staticmethod
     def _reraises(handler: ast.ExceptHandler) -> bool:

@@ -144,7 +144,7 @@ class Sanitizer:
     """All shared sanitizer state for one simulated job."""
 
     def __init__(self, nranks: int, config: SanitizerConfig | None = None,
-                 obs=None) -> None:
+                 obs: Sequence[Any] | None = None) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = int(nranks)
@@ -353,7 +353,7 @@ class Sanitizer:
         self.record("deadlock", rank, msg, DeadlockError)
 
     # ------------------------------------------------------------ finalize
-    def finalize(self, world) -> None:
+    def finalize(self, world: Any) -> None:
         """End-of-job hygiene: leaked requests and unconsumed envelopes.
 
         Called by the runner after every rank thread joined cleanly.
@@ -420,21 +420,21 @@ class GhostGuard:
     _recvs: dict[int, _Watch] = field(default_factory=dict)
 
     @staticmethod
-    def _checksum(patch: "Patch", region, fields: Sequence[str]) -> int:
+    def _checksum(patch: "Patch", region: Any, fields: Sequence[str]) -> int:
         crc = 0
         for f in fields:
             block = patch.view(f, region)
             crc = zlib.crc32(block.tobytes(), crc)
         return crc
 
-    def watch_send(self, patch: "Patch", region, fields: Sequence[str],
+    def watch_send(self, patch: "Patch", region: Any, fields: Sequence[str],
                    tag: int) -> None:
         self._sends.append(_Watch(
             patch=patch, region=region, fields=tuple(fields), tag=tag,
             version=patch.version,
             checksum=self._checksum(patch, region, fields)))
 
-    def watch_recv(self, patch: "Patch", region, fields: Sequence[str],
+    def watch_recv(self, patch: "Patch", region: Any, fields: Sequence[str],
                    tag: int) -> None:
         self._recvs[tag] = _Watch(
             patch=patch, region=region, fields=tuple(fields), tag=tag,

@@ -1,0 +1,116 @@
+"""Runtime-vs-static crosscheck: no static blind spots on executed paths.
+
+The PR-4 sanitizers observe communication *as it executes*: collective-
+order tokens at every collective, leaked-request tracking at every irecv
+post.  The whole-program engine models the same program *statically*.
+This test closes the loop on the seeded case-study scenario: every MPI
+routine the runtime ledger actually charged must correspond to a call
+site the static model (a) extracted and (b) proves reachable from the
+case-study drivers — so anything the runtime sanitizers can ever see on
+these paths, the static analyzer can see first.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import SanitizerConfig
+from repro.analysis.engine import analyze_paths
+from repro.euler.ports import DriverParams
+from repro.harness.casestudy import CaseStudyConfig, run_case_study
+
+#: entry points of the scenario under test
+ROOTS = ("repro.harness.casestudy.run_case_study", "repro.cca.scmd.run_scmd")
+
+
+@pytest.fixture(scope="module")
+def runtime_routines():
+    """Routines the sanitized case study actually executed, per the ledger."""
+    cfg = CaseStudyConfig(
+        params=DriverParams(nx=32, ny=32, steps=2),
+        nranks=2,
+        sanitize=SanitizerConfig(),
+    )
+    res = run_case_study(cfg)
+    assert res.world.sanitizer.findings == []
+    totals: Counter[str] = Counter()
+    for acct in res.world.accounting:
+        totals.update(acct.routine_totals().keys())
+    return totals
+
+
+@pytest.fixture(scope="module")
+def static_model():
+    return analyze_paths(["src"])
+
+
+def _reachable_functions(model):
+    roots = [fq for fq in model.table.functions
+             if fq.startswith(ROOTS)]
+    assert roots, "case-study drivers missing from the symbol table"
+    return [model.table.functions[fq]
+            for fq in model.graph.reachable(roots)]
+
+
+def _routine_attr(routine: str) -> str:
+    """``MPI_Allgather`` -> the comm-API attribute ``allgather``."""
+    return routine.removeprefix("MPI_").lower()
+
+
+def test_every_executed_routine_has_a_reachable_static_site(
+        runtime_routines, static_model):
+    reachable = _reachable_functions(static_model)
+    site_attrs = {site.name.rsplit(".", 1)[-1]
+                  for fn in reachable for site in fn.calls()}
+    missing = {}
+    for routine in runtime_routines:
+        attr = _routine_attr(routine)
+        if attr not in site_attrs:
+            missing[routine] = attr
+    assert not missing, (
+        f"runtime executed {sorted(missing)} but the static model has no "
+        f"reachable call site for them — static blind spot")
+
+
+def test_collective_sanitizer_sites_are_statically_modeled(
+        runtime_routines, static_model):
+    """Every collective the ordering sanitizer tokenized is a collective
+    call site (RA009's input alphabet) in a reachable function."""
+    from repro.analysis.commcheck import COLLECTIVE_ATTRS, _is_collective
+
+    executed = {_routine_attr(r) for r in runtime_routines
+                if _routine_attr(r) in COLLECTIVE_ATTRS}
+    assert executed, "the case study must execute at least one collective"
+    reachable = _reachable_functions(static_model)
+    modeled = {site.name.rsplit(".", 1)[-1]
+               for fn in reachable for site in fn.calls()
+               if _is_collective(site)}
+    assert executed <= modeled, (
+        f"collectives {sorted(executed - modeled)} executed at runtime but "
+        "not modeled as collective sites")
+
+
+def test_leak_sanitizer_sites_are_statically_modeled(
+        runtime_routines, static_model):
+    """Every irecv the leak sanitizer tracked at runtime is a P2P post the
+    extractor captured (RA010's input) in a reachable function."""
+    assert "MPI_Irecv" in runtime_routines
+    reachable = _reachable_functions(static_model)
+    posts = [p for fn in reachable for p in fn.posts]
+    assert any(p.op == "irecv" for p in posts), (
+        "runtime posted irecv but the static model captured no irecv post "
+        "on any reachable path")
+    # ... and none of them leaks (ties the clean runtime to a clean RA010).
+    assert all(p.ctx != "discard" for p in posts if p.op == "irecv")
+
+
+def test_static_rules_are_clean_on_reachable_case_study_code(static_model):
+    """Matches the clean sanitizer verdict: the flow rules raise nothing on
+    the code the case study can reach (fixed-in-this-PR guarantee)."""
+    reachable_paths = {fn.path for fn in _reachable_functions(static_model)}
+    flow = [f for f in static_model.findings
+            if f.rule in ("RA009", "RA010", "RA011")
+            and f.path in reachable_paths]
+    assert flow == [], [f.format() for f in flow]

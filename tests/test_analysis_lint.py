@@ -221,6 +221,47 @@ def c():
     assert findings == []
 
 
+def test_ra005_bare_reraise_is_never_flagged(tmp_path):
+    """The cleanup-then-propagate idiom swallows nothing — not even a bare
+    ``except:`` or ``except Exception:`` is over-broad when every path ends
+    in a bare ``raise``."""
+    findings = _lint(tmp_path, """
+def a():
+    try:
+        risky()
+    except:
+        rollback()
+        raise
+
+def b():
+    try:
+        risky()
+    except Exception:
+        raise
+
+def c():
+    try:
+        risky()
+    except BaseException:
+        abort_cohort()
+        raise
+""", rules=["RA005"])
+    assert findings == []
+
+
+def test_ra005_raising_a_new_exception_is_not_a_bare_reraise(tmp_path):
+    """``raise Wrapped(...)`` replaces the exception: a bare ``except:``
+    around it still hides SystemExit/KeyboardInterrupt and stays flagged."""
+    findings = _lint(tmp_path, """
+def a():
+    try:
+        risky()
+    except:
+        raise RuntimeError("wrapped")
+""", rules=["RA005"])
+    assert _codes(findings) == ["RA005"]
+
+
 # --------------------------------------------------------------------- RA006
 def test_ra006_flags_mpi_call_in_nested_loop(tmp_path):
     findings = _lint(tmp_path, """
